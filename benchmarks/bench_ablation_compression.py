@@ -1,0 +1,63 @@
+"""Ablation: sensitivity of the bump-in-the-wire bounds to compression.
+
+Sweeps the best-case compression ratio and reports how the NC bounds
+and the simulated throughput move — the §5 mechanism (service curves
+scaled by the achieved ratio) made quantitative.  The lower bound must
+be ratio-independent (it lives in the ratio-1.0 worst case); the upper
+bound and the best-scenario simulation must scale with the ratio until
+the source rate caps them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.bump_in_the_wire import bitw_pipeline
+from repro.streaming import VolumeRatio, analyze, simulate
+from repro.units import MiB
+
+
+def _with_ratio(max_ratio: float):
+    pipe = bitw_pipeline()
+    vr = VolumeRatio.from_compression(
+        avg_ratio=min(2.2, max_ratio), min_ratio=1.0, max_ratio=max_ratio
+    )
+    comp = pipe.stages[pipe.stage_index("compress")]
+    pipe = pipe.with_stage("compress", dataclasses.replace(comp, volume_ratio=vr))
+    dec = pipe.stages[pipe.stage_index("decompress")]
+    pipe = pipe.with_stage("decompress", dataclasses.replace(dec, volume_ratio=vr.inverse()))
+    return pipe
+
+
+def _sweep():
+    out = []
+    for ratio in (1.0, 2.0, 3.0, 5.3, 8.0):
+        pipe = _with_ratio(ratio)
+        rep = analyze(pipe, packetized=False)
+        sim = simulate(pipe, workload=1 * MiB, seed=1, scenario="best")
+        out.append(
+            (ratio, rep.throughput_lower_bound, rep.throughput_upper_bound,
+             sim.steady_state_throughput)
+        )
+    return out
+
+
+def test_compression_ratio_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\nratio   lower(MiB/s)  upper(MiB/s)  best-case sim(MiB/s)")
+    for ratio, lo, hi, sim in rows:
+        print(f"{ratio:5.1f}  {lo / MiB:12.1f}  {hi / MiB:12.1f}  {sim / MiB:12.1f}")
+
+    lowers = [r[1] for r in rows]
+    uppers = [r[2] for r in rows]
+    sims = [r[3] for r in rows]
+    # lower bound is the incompressible worst case: ratio-independent
+    assert max(lowers) - min(lowers) < 1e-6
+    # upper bound scales with the ratio until the 313 MiB/s source caps it
+    assert uppers[0] == pytest.approx(75 * MiB)  # encrypt max, no compression
+    assert uppers[1] == pytest.approx(150 * MiB)  # 75 x 2
+    assert uppers[-1] == pytest.approx(313 * MiB)  # source-capped
+    # best-scenario simulated throughput rides the same scaling
+    assert sims[1] > sims[0] * 1.6
+    for (_, lo, hi, sim) in rows:
+        assert lo * 0.98 <= sim <= hi * 1.02

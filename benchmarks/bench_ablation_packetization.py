@@ -1,0 +1,47 @@
+"""Ablation: what the packetization corrections (§3) change.
+
+Compares the system service curve with and without the
+``[beta - l_max]^+`` correction on both applications: packetization
+shifts the curve's effective latency by ``l_max / R_beta`` and is what
+makes the curve a *valid* output floor for job-granular systems (see
+the figure benches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import blast_pipeline
+from repro.apps.bump_in_the_wire import bitw_pipeline
+from repro.nc import horizontal_deviation, leaky_bucket
+from repro.streaming import build_model
+from repro.units import MiB
+
+
+def _compare(pipeline):
+    plain = build_model(pipeline, packetized=False)
+    pack = build_model(pipeline, packetized=True)
+    l_max = max(s.emit_bytes for s in pack.normalized)
+    return plain, pack, l_max
+
+
+@pytest.mark.parametrize("maker", [blast_pipeline, bitw_pipeline], ids=["blast", "bitw"])
+def test_packetization_shifts_latency(benchmark, maker):
+    plain, pack, l_max = benchmark(_compare, maker())
+    shift = l_max / plain.bottleneck_rate
+    print(
+        f"\n{plain.pipeline.name}: l_max={l_max:.0f} B -> extra latency "
+        f"{shift * 1e3:.3f} ms on top of T_tot={plain.total_latency * 1e3:.3f} ms"
+    )
+    ts = np.linspace(0.0, plain.total_latency * 4 + shift * 4 + 1e-9, 64)
+    plain_v = plain.beta_system(ts)
+    pack_v = pack.beta_system(ts)
+    # packetized curve is never above the plain one, and is lower by at
+    # most l_max
+    assert np.all(pack_v <= plain_v + 1e-6)
+    assert np.all(plain_v - pack_v <= l_max * (1 + 1e-9))
+    # a stable flow's delay bound grows by exactly l_max / R for
+    # rate-latency curves
+    alpha = leaky_bucket(plain.bottleneck_rate * 0.5, 1 * MiB)
+    d_plain = horizontal_deviation(alpha, plain.beta_system)
+    d_pack = horizontal_deviation(alpha, pack.beta_system)
+    assert d_pack == pytest.approx(d_plain + shift, rel=1e-6)

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the two engines everything else is built on.
+
+* the DES kernel: event throughput of a ping-pong process pair and of a
+  producer/consumer store pattern;
+* the min-plus algebra: convolution/deconvolution of representative
+  curve sizes, and the full BLAST tandem concatenation.
+
+These guard against performance regressions in the substrates (the
+guides' rule: measure before optimising).
+"""
+
+import numpy as np
+
+from repro.des import Environment, Store
+from repro.nc import (
+    Curve,
+    convolve,
+    convolve_many,
+    deconvolve,
+    leaky_bucket,
+    rate_latency,
+    staircase,
+)
+
+
+def _ping_pong(n_events: int) -> float:
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n_events):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    return env.now
+
+
+def test_des_timeout_throughput(benchmark):
+    result = benchmark(_ping_pong, 2000)
+    assert result == 2000.0
+
+
+def _producer_consumer(n_items: int) -> int:
+    env = Environment()
+    store = Store(env, capacity=16)
+    got = []
+
+    def producer(env):
+        for i in range(n_items):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(n_items):
+            got.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return len(got)
+
+
+def test_des_store_throughput(benchmark):
+    assert benchmark(_producer_consumer, 1000) == 1000
+
+
+def _random_pwl(seed: int, n: int = 12) -> Curve:
+    rng = np.random.default_rng(seed)
+    bx = np.concatenate(([0.0], np.cumsum(rng.uniform(0.1, 1.0, n - 1))))
+    sl = rng.uniform(0.0, 5.0, n)
+    by, sy = [0.0], [float(rng.uniform(0, 1))]
+    for i in range(1, n):
+        left = sy[-1] + sl[i - 1] * (bx[i] - bx[i - 1])
+        by.append(left)
+        sy.append(left + float(rng.uniform(0, 0.5)))
+    return Curve(bx, by, sy, sl)
+
+
+def test_minplus_convolution_speed(benchmark):
+    f, g = _random_pwl(1), _random_pwl(2)
+    out = benchmark(convolve, f, g)
+    assert out.is_nondecreasing()
+
+
+def test_minplus_deconvolution_speed(benchmark):
+    f = leaky_bucket(10.0, 3.0).minimum(leaky_bucket(4.0, 9.0))
+    g = _random_pwl(3)
+    if f.final_slope > g.final_slope:
+        g = g + Curve.affine(f.final_slope, 0.0)
+    out = benchmark(deconvolve, f, g)
+    assert out(0.0) >= 0.0
+
+
+def test_blast_tandem_concatenation_speed(benchmark):
+    from repro.apps.blast import blast_pipeline
+    from repro.streaming import build_model
+
+    model = build_model(blast_pipeline())
+    curves = [model.node_service_curve(i) for i in range(len(model.normalized))]
+    out = benchmark(convolve_many, curves)
+    assert out.final_slope > 0
+
+
+def test_staircase_convolution_speed(benchmark):
+    st = staircase(1.0, 0.5, n_steps=32)
+    beta = rate_latency(3.0, 0.25)
+    out = benchmark(convolve, st, beta)
+    assert out.is_nondecreasing()

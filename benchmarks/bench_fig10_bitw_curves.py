@@ -1,0 +1,30 @@
+"""Regenerates Figure 10: bump-in-the-wire model curves vs simulation.
+
+As in the paper, the maximum service curve is omitted from the plot;
+the check is the same shape property as Fig. 4 — simulated output
+bracketed by ``beta(t)`` and ``alpha(t)``.
+"""
+
+import numpy as np
+
+from repro.units import MiB
+from repro.viz import figure10
+
+
+def test_figure10(benchmark):
+    fig = benchmark(figure10, workload=2 * MiB)
+    print()
+    print(fig.ascii())
+
+    sim_t, sim_y = fig.series["simulation"]
+    alpha_t, alpha_y = fig.series["alpha(t)"]
+    beta_t, beta_y = fig.series["beta'(t)"]
+
+    alpha_at_sim = np.interp(sim_t, alpha_t, alpha_y)
+    beta_at_sim = np.interp(sim_t, beta_t, beta_y)
+    assert np.all(sim_y <= alpha_at_sim * 1.001 + 0.01)
+    assert np.all(sim_y >= beta_at_sim * 0.999 - 0.01)
+
+    assert 37.0 <= fig.annotations["delay_bound_us"] <= 39.0
+    assert 2.9 <= fig.annotations["backlog_bound_KiB"] <= 3.1
+    assert 56.0 <= fig.annotations["sim_throughput_MiB_s"] <= 70.0

@@ -1,0 +1,35 @@
+"""Regenerates Figure 1: the didactic single-node curve plot.
+
+Leaky-bucket arrival, rate-latency (minimum) and constant-rate
+(maximum) service curves, and the derived output bound ``alpha*``, with
+the backlog/virtual-delay annotations.  Invariants checked: the closed
+forms from §3 (``d = T + b/R_beta``, ``x = b + R_alpha*T``) and the
+figure's geometric relations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.viz import figure1
+
+
+def test_figure1(benchmark):
+    fig = benchmark(figure1)
+    print()
+    print(fig.ascii())
+
+    r_a, b, r_b, t_lat = 100.0, 8.0, 150.0, 0.05
+    assert fig.annotations["virtual_delay_d"] == pytest.approx(t_lat + b / r_b)
+    assert fig.annotations["backlog_x"] == pytest.approx(b + r_a * t_lat)
+
+    alpha_x, alpha_y = fig.series["alpha"]
+    beta_x, beta_y = fig.series["beta"]
+    gamma_y = fig.series["gamma"][1]
+    star_y = fig.series["alpha*"][1]
+    # geometric relations of Fig. 1: beta below alpha early (backlog
+    # opens), gamma above beta everywhere, alpha* above alpha (it is an
+    # envelope of the departed flow, offset by the served backlog)
+    assert np.all(gamma_y >= beta_y - 1e-9)
+    assert np.all(star_y + 1e-9 >= alpha_y - fig.annotations["backlog_x"])
+    # the vertical deviation seen in the sampled curves matches x
+    assert np.max(alpha_y - beta_y) == pytest.approx(fig.annotations["backlog_x"], rel=0.02)

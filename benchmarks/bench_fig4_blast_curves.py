@@ -1,0 +1,40 @@
+"""Regenerates Figure 4: BLAST model curves vs simulated output.
+
+The defining property of the figure: the simulated cumulative-output
+stair-step stays *between* the service curve ``beta(t)`` (lower bound)
+and the arrival curve ``alpha(t)`` (upper bound), with ``alpha*`` a
+loose upper bound above the simulation.
+"""
+
+import numpy as np
+
+from repro.units import MiB
+from repro.viz import figure4
+
+
+def test_figure4(benchmark):
+    fig = benchmark(figure4, workload=128 * MiB)
+    print()
+    print(fig.ascii())
+
+    sim_t, sim_y = fig.series["simulation"]
+    alpha_t, alpha_y = fig.series["alpha(t)"]
+    beta_t, beta_y = fig.series["beta'(t)"]
+
+    # interpolate the model curves onto the simulation's time points
+    alpha_at_sim = np.interp(sim_t, alpha_t, alpha_y)
+    beta_at_sim = np.interp(sim_t, beta_t, beta_y)
+
+    # simulation between the bounds (small interpolation slack)
+    assert np.all(sim_y <= alpha_at_sim * 1.001 + 0.1)
+    assert np.all(sim_y >= beta_at_sim * 0.999 - 0.1)
+
+    if "alpha*(t)" in fig.series:
+        star_t, star_y = fig.series["alpha*(t)"]
+        star_at_sim = np.interp(sim_t, star_t, star_y)
+        assert np.all(sim_y <= star_at_sim * 1.001 + 0.1)
+
+    # annotations match the paper's ballpark
+    assert 40.0 <= fig.annotations["delay_bound_ms"] <= 50.0
+    assert 19.0 <= fig.annotations["backlog_bound_MiB"] <= 22.0
+    assert 340.0 <= fig.annotations["sim_throughput_MiB_s"] <= 360.0

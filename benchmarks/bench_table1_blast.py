@@ -1,0 +1,51 @@
+"""Regenerates Table 1: BLAST streaming-application throughput.
+
+Paper values: NC upper 704 MiB/s, NC lower 350 MiB/s, DES 353 MiB/s,
+queueing 500 MiB/s (measured 355 MiB/s from [12] is carried as an
+external constant).  Also regenerates the §4.2 delay/backlog
+observations.
+"""
+
+from repro.reproduction import (
+    blast_observation_rows,
+    format_rows,
+    table1_rows,
+)
+from repro.units import MiB
+
+from conftest import assert_rows_within
+
+
+def test_table1_throughput(benchmark):
+    rows = benchmark(table1_rows, workload=128 * MiB)
+    print()
+    print(format_rows("Table 1 — BLAST throughput", rows))
+    assert_rows_within(
+        rows,
+        {
+            "NC upper bound": 0.01,
+            "NC lower bound": 0.01,
+            "DES model": 0.02,
+            "Queueing prediction": 0.01,
+            "Measured": 1.0,  # external constant, NaN row (skipped)
+        },
+    )
+
+
+def test_blast_observations(benchmark):
+    rows = benchmark(blast_observation_rows, workload=128 * MiB)
+    print()
+    print(format_rows("§4.2 observations — BLAST", rows))
+    assert_rows_within(
+        rows,
+        {
+            "delay bound": 0.01,
+            "sim longest delay": 0.10,
+            "sim shortest delay": 0.10,
+            "backlog bound": 0.01,
+            # the paper's own sim-backlog figure is internally inconsistent
+            # (printed as KiB against a MiB bound); ours only needs to sit
+            # below the bound, checked in tests/apps
+            "sim max backlog": 0.30,
+        },
+    )

@@ -1,0 +1,105 @@
+"""Regenerates Table 2: per-stage throughputs and compression ratios.
+
+Two parts:
+
+1. the *configured* stage table as the model consumes it (checked
+   against the paper's printed averages);
+2. the *methodology demonstration*: drive the real pure-Python LZ4 and
+   AES kernels in isolation over a ratio-ladder corpus and report the
+   same (min/avg/max throughput, min/avg/max ratio) statistics the
+   paper measured on the Vitis kernels.  Absolute rates are interpreter
+   rates, not FPGA rates; the *shape* must hold — compression far
+   faster than AES, ratio spread straddling 1x-to-several-x.
+"""
+
+import numpy as np
+
+from repro.calibration import (
+    compressible_text,
+    incompressible_bytes,
+    measure_throughput,
+    ratio_ladder_corpus,
+)
+from repro.reproduction import format_rows, table2_rows
+from repro.substrates.dataproc import (
+    cbc_decrypt,
+    cbc_encrypt,
+    compress_block,
+    decompress_block,
+    measure_chunked_ratios,
+)
+
+from conftest import assert_rows_within
+
+_KEY = bytes(32)
+_IV = bytes(16)
+
+
+def test_table2_configured_rates(benchmark):
+    rows = benchmark(table2_rows)
+    print()
+    print(format_rows("Table 2 — stage throughput (configured, avg)", rows))
+    assert_rows_within(
+        rows,
+        {
+            "compress": 0.01,
+            "encrypt": 0.01,
+            "network": 0.01,
+            "decrypt": 0.01,
+            "decompress": 0.01,
+            "pcie": 0.01,
+        },
+    )
+
+
+def test_table2_methodology_on_real_kernels(benchmark):
+    chunks = [compressible_text(8192, seed=s, redundancy=0.3 + 0.1 * s) for s in range(5)]
+    chunks.append(incompressible_bytes(8192, seed=9))
+    pre_compressed = [compress_block(c) for c in chunks]
+    pre_encrypted = [cbc_encrypt(_KEY, _IV, c) for c in pre_compressed]
+
+    def run():
+        return {
+            "compress": measure_throughput("compress", compress_block, chunks, repeats=1),
+            "encrypt": measure_throughput(
+                "encrypt", lambda d: cbc_encrypt(_KEY, _IV, d), pre_compressed, repeats=1
+            ),
+            "decrypt": measure_throughput(
+                "decrypt", lambda d: cbc_decrypt(_KEY, _IV, d), pre_encrypted, repeats=1
+            ),
+            "decompress": measure_throughput(
+                "decompress",
+                lambda d: decompress_block(d, 1 << 20),
+                pre_compressed,
+                repeats=1,
+            ),
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("isolated measurements of the pure-Python kernels:")
+    for m in measured.values():
+        print(" ", m.summary())
+    # Table-2 shape: the codec is much faster than the cipher both ways
+    assert measured["compress"].rate_avg > 3 * measured["encrypt"].rate_avg
+    assert measured["decompress"].rate_avg > 3 * measured["decrypt"].rate_avg
+
+
+def test_table2_compression_ratio_statistics(benchmark):
+    corpus = ratio_ladder_corpus(chunk=32 * 1024, seed=5)
+    blob = b"".join(corpus.values())
+
+    stats = benchmark(measure_chunked_ratios, blob, 1024)
+    print()
+    print(
+        f"chunked (1 KiB) LZ4 ratios over the ladder corpus: "
+        f"min {stats.min:.2f} / avg {stats.avg:.2f} / max {stats.max:.2f} "
+        f"(paper: 1.0 / 2.2 / 5.3)"
+    )
+    # shape: worst chunks incompressible-ish, best chunks several-x
+    assert stats.min < 1.4
+    assert stats.max > 3.0
+    assert stats.min < stats.avg < stats.max
+    # and the statistics feed straight into the model
+    vr = stats.as_volume_ratio()
+    assert vr.best < vr.avg < vr.worst

@@ -1,0 +1,43 @@
+"""Regenerates Table 3: bump-in-the-wire throughput.
+
+Paper values: NC upper 313 MiB/s, NC lower 59 MiB/s, DES 61 MiB/s,
+queueing 151 MiB/s.  Our lower bound is 56 MiB/s (the encrypt stage's
+Table-2 worst rate; the paper's 59 is internally inconsistent with its
+own Table 2 — see DESIGN.md §5).  Also regenerates the §5 observations.
+"""
+
+from repro.reproduction import bitw_observation_rows, format_rows, table3_rows
+from repro.units import MiB
+
+from conftest import assert_rows_within
+
+
+def test_table3_throughput(benchmark):
+    rows = benchmark(table3_rows, workload=2 * MiB)
+    print()
+    print(format_rows("Table 3 — bump-in-the-wire throughput", rows))
+    assert_rows_within(
+        rows,
+        {
+            "NC upper bound": 0.01,
+            "NC lower bound": 0.06,  # 56 vs the paper's 59
+            "DES model": 0.07,
+            "Queueing prediction": 0.02,
+        },
+    )
+
+
+def test_bitw_observations(benchmark):
+    rows = benchmark(bitw_observation_rows, workload=2 * MiB)
+    print()
+    print(format_rows("§5 observations — bump-in-the-wire", rows))
+    assert_rows_within(
+        rows,
+        {
+            "delay bound": 0.01,
+            "sim longest delay": 0.10,
+            "sim shortest delay": 0.20,
+            "backlog bound": 0.01,
+            "sim max backlog": 0.30,
+        },
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one paper artifact (table or figure), asserts
+the reproduction tolerances, and lets pytest-benchmark time the
+regeneration.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def assert_rows_within(rows, tolerances: dict[str, float]) -> None:
+    """Check each row's relative deviation against a per-quantity bound.
+
+    ``tolerances`` maps a substring of the row's quantity name to the
+    allowed |relative deviation|; rows with NaN ``ours`` (external
+    measurements) are skipped.
+    """
+    for row in rows:
+        if math.isnan(row.ours):
+            continue
+        tol = None
+        for key, value in tolerances.items():
+            if key in row.quantity:
+                tol = value
+                break
+        assert tol is not None, f"no tolerance configured for {row.quantity!r}"
+        assert abs(row.deviation) <= tol, (
+            f"{row.quantity}: ours deviates {row.deviation:+.1%} from the "
+            f"paper (allowed ±{tol:.0%})"
+        )

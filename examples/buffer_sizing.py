@@ -1,0 +1,63 @@
+"""Buffer sizing and backpressure — the paper's future-work items, working.
+
+The paper's §6 proposes using network calculus "to guide the sizing and
+allocation of buffers" and to shape arrivals "to accommodate queues
+that are at risk of overflowing".  This example does both on the BLAST
+pipeline, and verifies the shaped system in simulation.
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from repro.apps.blast import blast_pipeline
+from repro.streaming import (
+    admissible_source_rate,
+    analyze,
+    max_rate_for_buffers,
+    shaped_source,
+    simulate,
+    size_buffers,
+)
+from repro.units import MiB, format_rate
+
+
+def main() -> None:
+    pipeline = blast_pipeline()
+
+    # --- 1. overflow-free buffer plan --------------------------------------
+    plan = size_buffers(pipeline, margin=0.25, workload=256 * MiB)
+    print(plan.summary())
+
+    # --- 2. the largest feed those buffers can absorb -----------------------
+    admissible = admissible_source_rate(pipeline)
+    print(f"\nadmissible long-run source rate: {format_rate(admissible)}")
+    rate_cap = max_rate_for_buffers(pipeline, plan.buffers)
+    print(f"rate cap under the buffer plan:  {format_rate(rate_cap)}")
+
+    # --- 3. shape the source and verify stability ----------------------------
+    # A smooth shaped feed never re-fills the job buffers from a standing
+    # burst, so every node pays its collection latency: the analysis must
+    # use conservative aggregation (the paper's recursion, which lets an
+    # upstream burst cover collection, is only valid under backpressure-
+    # saturated queues — see DESIGN.md).
+    shaped = pipeline.with_source(shaped_source(pipeline, utilization=0.95))
+    report = analyze(shaped, packetized=False, conservative_aggregation=True)
+    print(f"\nshaped source: {format_rate(shaped.source.rate)} "
+          f"(was {format_rate(pipeline.source.rate)})")
+    print(f"stable now: {report.stable} — bounds are asymptotic, not transient")
+    print(f"delay bound  {report.delay_bound * 1e3:.2f} ms (conservative aggregation)")
+    print(f"backlog bound {report.backlog_bound / MiB:.2f} MiB")
+
+    sim = simulate(shaped, workload=128 * MiB, seed=9)
+    vd = sim.observed_virtual_delays()
+    print("\nsimulation of the shaped system:")
+    print(f"  throughput  {format_rate(sim.steady_state_throughput)}")
+    print(f"  max delay   {vd.max * 1e3:.2f} ms  (bound {report.delay_bound * 1e3:.2f})")
+    print(f"  max backlog {sim.max_backlog_bytes / MiB:.2f} MiB  "
+          f"(bound {report.backlog_bound / MiB:.2f})")
+    assert vd.max <= report.delay_bound
+    assert sim.max_backlog_bytes <= report.backlog_bound
+    print("  shaped system honours the asymptotic bounds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The bump-in-the-wire case study end to end (paper §5).
+
+1. Exercises the *real* LZ4 and AES-CBC kernels on synthetic corpora,
+   measuring compression-ratio statistics exactly the way the paper's
+   2.2x/1.0x/5.3x numbers were obtained;
+2. reproduces the Table-3 comparison and the §5 delay/backlog
+   observations;
+3. shows how the data scenario (incompressible vs highly compressible)
+   moves the simulated throughput between the bounds.
+
+Run:  python examples/bump_in_the_wire_study.py
+"""
+
+from repro.apps.bump_in_the_wire import bitw_simulation
+from repro.calibration import ratio_ladder_corpus
+from repro.reproduction import bitw_observation_rows, format_rows, table3_rows
+from repro.substrates.dataproc import (
+    cbc_decrypt,
+    cbc_encrypt,
+    compress_block,
+    decompress_block,
+    measure_chunked_ratios,
+)
+from repro.units import MiB, format_rate
+
+
+def main() -> None:
+    # --- the real kernels --------------------------------------------------
+    key, iv = bytes(32), bytes(16)
+    corpus = ratio_ladder_corpus(chunk=16 * 1024, seed=3)
+    print("LZ4 ratio statistics per corpus (1 KiB chunking):")
+    for name, data in corpus.items():
+        stats = measure_chunked_ratios(data, 1024)
+        print(
+            f"  {name:<10} min {stats.min:5.2f}  avg {stats.avg:5.2f}  "
+            f"max {stats.max:6.2f}  ({stats.chunks} chunks)"
+        )
+
+    # end-to-end data path: compress -> encrypt -> decrypt -> decompress
+    payload = corpus["text_mid"]
+    comp = compress_block(payload)
+    wire = cbc_encrypt(key, iv, comp)
+    back = decompress_block(cbc_decrypt(key, iv, wire), len(payload))
+    assert back == payload
+    print(f"\nround trip ok: {len(payload)} B -> {len(comp)} B compressed "
+          f"-> {len(wire)} B on the wire -> restored\n")
+
+    # --- the performance model --------------------------------------------
+    print(format_rows("Table 3 — bump-in-the-wire throughput", table3_rows()))
+    print()
+    print(format_rows("§5 observations", bitw_observation_rows()))
+
+    # --- data-scenario sensitivity ------------------------------------------
+    print("\nsimulated throughput by data scenario:")
+    for scenario in ("worst", "avg", "best"):
+        sim = bitw_simulation(workload=2 * MiB, scenario=scenario)
+        print(f"  {scenario:<6} {format_rate(sim.steady_state_throughput)}")
+    print("-> compressible data rides the encrypt bottleneck harder, "
+          "exactly the effect the scenario-split service curves bound")
+
+
+if __name__ == "__main__":
+    main()

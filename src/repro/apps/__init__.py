@@ -1,0 +1,36 @@
+"""The paper's two case studies, fully parameterised and runnable.
+
+* :mod:`repro.apps.blast` — BLASTN on FPGA + network + GPU (paper §4);
+* :mod:`repro.apps.bump_in_the_wire` — FPGA compression/encryption
+  offload in a bump-in-the-wire deployment (paper §5).
+"""
+
+from .blast import (
+    BLAST_PAPER,
+    BLAST_QUEUE_BOUNDS,
+    blast_analysis,
+    blast_pipeline,
+    blast_simulation,
+)
+from .bump_in_the_wire import (
+    BITW_PAPER,
+    BITW_QUEUE_BOUNDS,
+    LZ4_RATIOS,
+    bitw_analysis,
+    bitw_pipeline,
+    bitw_simulation,
+)
+
+__all__ = [
+    "BLAST_PAPER",
+    "BLAST_QUEUE_BOUNDS",
+    "blast_analysis",
+    "blast_pipeline",
+    "blast_simulation",
+    "BITW_PAPER",
+    "BITW_QUEUE_BOUNDS",
+    "LZ4_RATIOS",
+    "bitw_analysis",
+    "bitw_pipeline",
+    "bitw_simulation",
+]

@@ -1,0 +1,213 @@
+"""The bump-in-the-wire compression/encryption case study (paper §5).
+
+Two network-attached FPGAs (Alveo U280 on the Open Cloud Testbed)
+offload an LZ4-compress → AES-256-CBC-encrypt → TCP →
+decrypt → decompress → PCIe pipeline from the endpoint CPUs
+(Fig. 9).  Per-stage throughputs are the paper's Table 2 — these are
+*inputs* to the model, measured in isolation on the Vitis kernels; our
+:mod:`repro.substrates.dataproc` kernels demonstrate the measurement
+methodology on real (pure-Python) LZ4/AES implementations.
+
+Compression makes the data volume downstream of the compressor
+scenario-dependent; the observed LZ4 ratios are 2.2x average, 1.0x
+minimum, 5.3x maximum (Table 2 caption), which the model carries as
+scenario-aligned volume factors.
+
+**Arrival-curve reconstruction.**  The paper's §5 numbers are mutually
+consistent with (and only with) a leaky-bucket arrival of rate
+R_alpha = 313 MiB/s and burst b = 2 KiB, plus a total dispatch latency
+T_tot = 3.12 us:
+
+* upper bound  = R_alpha = 313 MiB/s              (Table 3)
+* d <= T_tot + b / R_beta  = 3.12 us + 34.9 us = 38 us   (§5 item 1)
+* x <= b + R_alpha * T_tot = 2 KiB + 1 KiB     = 3 KiB   (§5 item 2)
+
+Our lower bound is the encrypt stage's worst measured rate, 56 MiB/s
+(Table 2) — the paper prints 59 MiB/s in Table 3, a ~5% discrepancy
+internal to the paper; see DESIGN.md §5 and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..des import SimulationReport
+from ..streaming import (
+    AnalysisReport,
+    Pipeline,
+    Source,
+    Stage,
+    StageKind,
+    VolumeRatio,
+    analyze,
+    simulate,
+)
+from ..units import GiB, KiB, MiB
+
+__all__ = [
+    "BITW_PAPER",
+    "PaperNumbersBitw",
+    "LZ4_RATIOS",
+    "bitw_pipeline",
+    "bitw_analysis",
+    "bitw_simulation",
+    "bitw_envelope_simulation",
+    "BITW_QUEUE_BOUNDS",
+    "DEFAULT_WORKLOAD",
+]
+
+#: Default simulated workload (input-referred bytes).
+DEFAULT_WORKLOAD: float = 8 * MiB
+
+#: Observed LZ4 compression ratios (Table 2 caption): avg / min / max.
+LZ4_RATIOS = VolumeRatio.from_compression(2.2, 1.0, 5.3)
+
+#: Streaming chunk gathered before a network send (paper §5: "data will
+#: be gathered at maximum in 1 KiB *normalized* chunks"); the kernel's
+#: local buffer holds compressed bytes, so its local size is the
+#: normalized KiB scaled by the average compression ratio.
+_NET_CHUNK_NORMALIZED = 1 * KiB
+_NET_CHUNK_LOCAL = _NET_CHUNK_NORMALIZED / 2.2
+#: PCIe delivery granule at the destination host.
+_PCIE_CHUNK = 768.0
+#: Fine-grained FPGA stream-channel granularity of the compute kernels.
+_KERNEL_CHUNK = 256.0
+
+
+def bitw_pipeline() -> Pipeline:
+    """The Fig.-9 bump-in-the-wire pipeline with Table-2 measurements.
+
+    Raw compressor rates are recovered from the normalized Table-2 row
+    (2662/1181/6386 at ratios 2.2/1.0/5.3 → ~1181..1210 MiB/s raw).
+    """
+    stages = [
+        Stage(
+            "compress",  # streaming LZ4 kernel
+            avg_rate=1205 * MiB,
+            min_rate=1181 * MiB,
+            max_rate=1210 * MiB,
+            latency=0.5e-6,
+            job_bytes=_KERNEL_CHUNK,
+            volume_ratio=LZ4_RATIOS,
+            kind=StageKind.COMPUTE,
+        ),
+        Stage(
+            "encrypt",  # 256-bit CBC AES kernel — the bottleneck
+            avg_rate=68 * MiB,
+            min_rate=56 * MiB,
+            max_rate=75 * MiB,
+            latency=0.5e-6,
+            job_bytes=_KERNEL_CHUNK,
+            kind=StageKind.COMPUTE,
+        ),
+        Stage.link(
+            "network",  # TCP + CMAC kernels, FPGA-to-FPGA
+            10 * GiB,
+            latency=1.0e-6,
+            mtu=_NET_CHUNK_LOCAL,
+        ),
+        Stage(
+            "decrypt",
+            avg_rate=90 * MiB,
+            min_rate=77 * MiB,
+            max_rate=113 * MiB,
+            latency=0.5e-6,
+            job_bytes=_KERNEL_CHUNK,
+            kind=StageKind.COMPUTE,
+        ),
+        Stage(
+            "decompress",
+            avg_rate=1495 * MiB,
+            min_rate=1426 * MiB,
+            max_rate=1543 * MiB,
+            latency=0.4e-6,
+            job_bytes=_KERNEL_CHUNK,
+            volume_ratio=LZ4_RATIOS.inverse(),
+            kind=StageKind.COMPUTE,
+        ),
+        Stage.link(
+            "pcie",  # delivery into destination host memory
+            11 * GiB,
+            latency=0.22e-6,
+            mtu=_PCIE_CHUNK,
+            kind=StageKind.PCIE,
+        ),
+    ]
+    source = Source(rate=313 * MiB, burst=2 * KiB, packet_bytes=_KERNEL_CHUNK)
+    return Pipeline("bump-in-the-wire", source, stages)
+
+
+#: FPGA stream-channel FIFO depths for the simulation (KiB-scale BRAM
+#: FIFOs; backpressure throttles the offered 313 MiB/s to what the AES
+#: kernel sustains).
+BITW_QUEUE_BOUNDS: dict[str, float] = {
+    "compress": 256.0,
+    "encrypt": 256.0,
+    "network": _NET_CHUNK_LOCAL,
+    "decrypt": 256.0,
+    "decompress": 256.0,
+    "pcie": _PCIE_CHUNK,
+}
+
+
+def bitw_analysis(workload: float | None = DEFAULT_WORKLOAD) -> AnalysisReport:
+    """Network-calculus analysis reproducing the Table-3 model rows."""
+    return analyze(bitw_pipeline(), packetized=False, workload=workload)
+
+
+def bitw_simulation(
+    workload: float = DEFAULT_WORKLOAD,
+    seed: int | None = 42,
+    scenario: str = "worst",
+) -> SimulationReport:
+    """The discrete-event validation run (Table-3 simulation row).
+
+    The paper's simulated throughput (61 MiB/s, just above the
+    ratio-1.0 lower bound) identifies its run as the *worst* data
+    scenario — incompressible data — which is this function's default.
+    """
+    pipe = bitw_pipeline()
+    # the FIFO bounds are physical (local bytes); express them in the
+    # input-referred units the simulator works in for this scenario
+    from ..streaming import cumulative_volume_factors
+
+    factors = cumulative_volume_factors([s.volume_ratio for s in pipe.stages])
+    queue_bytes = {
+        s.name: BITW_QUEUE_BOUNDS[s.name] / getattr(v, scenario)
+        for s, v in zip(pipe.stages, factors)
+    }
+    return simulate(
+        pipe,
+        workload=workload,
+        seed=seed,
+        queue_bytes=queue_bytes,
+        scenario=scenario,
+    )
+
+
+def bitw_envelope_simulation(
+    workload: float = DEFAULT_WORKLOAD,
+    seed: int | None = 42,
+    scenario: str = "worst",
+) -> SimulationReport:
+    """Model-validation run for Fig. 10: envelope-saturating source and
+    unbounded queues, so the output is bracketed by the model curves."""
+    return simulate(bitw_pipeline(), workload=workload, seed=seed, scenario=scenario)
+
+
+@dataclass(frozen=True)
+class PaperNumbersBitw:
+    """Tables 2/3 and §5 values as printed in the paper."""
+
+    nc_upper_bound: float = 313 * MiB
+    nc_lower_bound: float = 59 * MiB
+    des_throughput: float = 61 * MiB
+    queueing_prediction: float = 151 * MiB
+    delay_bound: float = 38e-6
+    backlog_bound: float = 3 * KiB
+    sim_delay_longest: float = 36.7e-6
+    sim_delay_shortest: float = 25.7e-6
+    sim_backlog: float = 2 * KiB
+
+
+BITW_PAPER = PaperNumbersBitw()

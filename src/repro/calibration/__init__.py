@@ -1,0 +1,26 @@
+"""Isolated measurement and synthetic workloads.
+
+Implements the paper's parameterisation methodology: drive a kernel in
+isolation over representative chunks, convert the observed rate
+statistics into model stages.
+"""
+
+from .measure import ThroughputMeasurement, measure_throughput, measurement_to_stage
+from .workloads import (
+    compressible_text,
+    incompressible_bytes,
+    random_dna,
+    ratio_ladder_corpus,
+    synthetic_fasta,
+)
+
+__all__ = [
+    "ThroughputMeasurement",
+    "measure_throughput",
+    "measurement_to_stage",
+    "compressible_text",
+    "incompressible_bytes",
+    "random_dna",
+    "ratio_ladder_corpus",
+    "synthetic_fasta",
+]

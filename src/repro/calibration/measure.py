@@ -1,0 +1,112 @@
+"""Isolated stage measurement — the paper's model-parameterisation step.
+
+Both the queueing model and the network-calculus model are "derived
+from measurements taken in isolation without a full deployment".  This
+module times a kernel callable over a set of data chunks and converts
+the observed per-chunk rates into a :class:`repro.streaming.Stage`
+(min/avg/max rate triple + latency), closing the loop from *real
+kernel* to *model parameter*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import check_positive
+from ..streaming import Stage, StageKind, VolumeRatio
+
+__all__ = ["ThroughputMeasurement", "measure_throughput", "measurement_to_stage"]
+
+
+@dataclass(frozen=True)
+class ThroughputMeasurement:
+    """Observed per-chunk throughput statistics of one kernel."""
+
+    name: str
+    chunk_bytes: float  # mean chunk size
+    rate_min: float
+    rate_avg: float
+    rate_max: float
+    latency: float  # fastest observed per-chunk wall time
+    samples: int
+
+    def summary(self) -> str:
+        from ..units import format_rate, format_seconds
+
+        return (
+            f"{self.name}: {format_rate(self.rate_min)} / "
+            f"{format_rate(self.rate_avg)} / {format_rate(self.rate_max)} "
+            f"(min/avg/max over {self.samples} chunks, "
+            f"latency {format_seconds(self.latency)})"
+        )
+
+
+def measure_throughput(
+    name: str,
+    kernel: Callable[[bytes], object],
+    chunks: Sequence[bytes],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> ThroughputMeasurement:
+    """Time ``kernel`` over every chunk, ``repeats`` times each.
+
+    Per-chunk rate = chunk size / best-of-repeats wall time (best-of
+    suppresses interpreter noise, the standard microbenchmark practice);
+    min/avg/max are taken across chunks, which is where real data-
+    dependent variation (e.g. compressibility) shows up.
+    """
+    if not chunks:
+        raise ValueError("need at least one chunk")
+    check_positive("repeats", repeats)
+    for _ in range(warmup):
+        kernel(chunks[0])
+    rates: list[float] = []
+    times: list[float] = []
+    for chunk in chunks:
+        if len(chunk) == 0:
+            raise ValueError("chunks must be non-empty")
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            kernel(chunk)
+            best = min(best, time.perf_counter() - t0)
+        rates.append(len(chunk) / best)
+        times.append(best)
+    return ThroughputMeasurement(
+        name=name,
+        chunk_bytes=float(np.mean([len(c) for c in chunks])),
+        rate_min=float(min(rates)),
+        rate_avg=float(np.mean(rates)),
+        rate_max=float(max(rates)),
+        latency=float(min(times)),
+        samples=len(chunks),
+    )
+
+
+def measurement_to_stage(
+    m: ThroughputMeasurement,
+    *,
+    volume_ratio: VolumeRatio | None = None,
+    kind: StageKind = StageKind.COMPUTE,
+    job_bytes: float | None = None,
+) -> Stage:
+    """Convert a measurement into a model stage.
+
+    The job size defaults to the measured chunk size (the granularity
+    the kernel was actually driven at).
+    """
+    return Stage(
+        m.name,
+        avg_rate=m.rate_avg,
+        min_rate=m.rate_min,
+        max_rate=m.rate_max,
+        latency=m.latency,
+        job_bytes=job_bytes if job_bytes is not None else m.chunk_bytes,
+        volume_ratio=volume_ratio or VolumeRatio.identity(),
+        kind=kind,
+    )

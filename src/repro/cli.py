@@ -1,0 +1,179 @@
+"""Command-line interface: ``repro <command> ...`` / ``python -m repro``.
+
+Commands
+--------
+``repro analyze {blast,bitw}``
+    print the network-calculus analysis summary of a case study;
+``repro simulate {blast,bitw} [--workload-mib N] [--seed S]``
+    run the discrete-event validation and print its summary;
+``repro reproduce {table1,table2,table3,fig1,fig4,fig10,all} [--csv-dir D]``
+    regenerate a paper artifact (tables print paper-vs-ours rows;
+    figures print ASCII and optionally write CSV series);
+``repro buffers {blast,bitw}``
+    print the analytic buffer-allocation plan;
+``repro export {blast,bitw} model.json`` / ``repro analyze file --file model.json``
+    round-trip pipeline models through JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .units import MiB
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Network-calculus models for heterogeneous streaming applications",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pa = sub.add_parser("analyze", help="network-calculus analysis of a case study")
+    pa.add_argument("app", choices=["blast", "bitw", "file"])
+    pa.add_argument("--file", type=Path, default=None, help="pipeline model JSON (with app=file)")
+
+    ps = sub.add_parser("simulate", help="discrete-event validation run")
+    ps.add_argument("app", choices=["blast", "bitw", "file"])
+    ps.add_argument("--file", type=Path, default=None, help="pipeline model JSON (with app=file)")
+    ps.add_argument("--workload-mib", type=float, default=None, help="input volume in MiB")
+    ps.add_argument("--seed", type=int, default=42)
+
+    pe = sub.add_parser("export", help="write a case study's model as JSON")
+    pe.add_argument("app", choices=["blast", "bitw"])
+    pe.add_argument("path", type=Path)
+
+    pr = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    pr.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "fig1", "fig4", "fig10", "all"],
+    )
+    pr.add_argument("--csv-dir", type=Path, default=None, help="also write figure CSVs here")
+
+    pb = sub.add_parser("buffers", help="analytic buffer-allocation plan")
+    pb.add_argument("app", choices=["blast", "bitw"])
+    pb.add_argument("--margin", type=float, default=0.25)
+    return p
+
+
+def _pipeline_for(app: str):
+    if app == "blast":
+        from .apps.blast import blast_pipeline
+
+        return blast_pipeline()
+    from .apps.bump_in_the_wire import bitw_pipeline
+
+    return bitw_pipeline()
+
+
+def _require_file(args: argparse.Namespace) -> "Path":
+    if args.file is None:
+        raise SystemExit("app 'file' requires --file <model.json>")
+    return args.file
+
+
+def _cmd_analyze(args: argparse.Namespace) -> str:
+    if args.app == "file":
+        from .streaming import analyze, load_pipeline
+
+        return analyze(load_pipeline(_require_file(args)), packetized=False).summary()
+    if args.app == "blast":
+        from .apps.blast import blast_analysis
+
+        return blast_analysis().summary()
+    from .apps.bump_in_the_wire import bitw_analysis
+
+    return bitw_analysis().summary()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    if args.app == "file":
+        from .streaming import load_pipeline, simulate
+
+        workload = (args.workload_mib or 64.0) * MiB
+        rep = simulate(load_pipeline(_require_file(args)), workload=workload, seed=args.seed)
+    elif args.app == "blast":
+        from .apps.blast import blast_simulation
+
+        workload = (args.workload_mib or 256.0) * MiB
+        rep = blast_simulation(workload=workload, seed=args.seed)
+    else:
+        from .apps.bump_in_the_wire import bitw_simulation
+
+        workload = (args.workload_mib or 4.0) * MiB
+        rep = bitw_simulation(workload=workload, seed=args.seed)
+    vd = rep.observed_virtual_delays(skip_initial_fraction=0.15)
+    extra = (
+        f"\nobserved virtual delay   "
+        f"{vd.min * 1e3:.4g} ms .. {vd.max * 1e3:.4g} ms"
+    )
+    return rep.summary() + extra
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> str:
+    from . import reproduction as R
+
+    out: list[str] = []
+    artifacts = (
+        ["table1", "table2", "table3", "fig1", "fig4", "fig10"]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
+    for art in artifacts:
+        if art == "table1":
+            out.append(R.format_rows("Table 1 — BLAST throughput", R.table1_rows()))
+            out.append(R.format_rows("§4.2 observations — BLAST", R.blast_observation_rows()))
+        elif art == "table2":
+            out.append(R.format_rows("Table 2 — stage throughput (avg)", R.table2_rows()))
+        elif art == "table3":
+            out.append(R.format_rows("Table 3 — bump-in-the-wire throughput", R.table3_rows()))
+            out.append(R.format_rows("§5 observations — BitW", R.bitw_observation_rows()))
+        else:
+            from .viz import figure1, figure4, figure10
+
+            fig = {"fig1": figure1, "fig4": figure4, "fig10": figure10}[art]()
+            out.append(fig.ascii())
+            if args.csv_dir is not None:
+                args.csv_dir.mkdir(parents=True, exist_ok=True)
+                path = fig.write_csv(args.csv_dir / f"{fig.name}.csv")
+                out.append(f"[csv written to {path}]")
+    return "\n\n".join(out)
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from .streaming import save_pipeline
+
+    path = save_pipeline(_pipeline_for(args.app), args.path)
+    return f"model written to {path}"
+
+
+def _cmd_buffers(args: argparse.Namespace) -> str:
+    from .streaming import size_buffers
+
+    pipe = _pipeline_for(args.app)
+    workload = 256 * MiB if args.app == "blast" else 8 * MiB
+    return size_buffers(pipe, margin=args.margin, workload=workload).summary()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "reproduce": _cmd_reproduce,
+        "buffers": _cmd_buffers,
+        "export": _cmd_export,
+    }[args.command]
+    print(handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

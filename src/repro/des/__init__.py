@@ -1,0 +1,62 @@
+"""Discrete-event simulation substrate.
+
+A from-scratch, SimPy-compatible process-interaction kernel
+(:mod:`repro.des.core`, :mod:`repro.des.events`,
+:mod:`repro.des.resources`) plus the streaming-pipeline simulator the
+paper uses as its validation baseline (:mod:`repro.des.pipeline_sim`).
+
+Quick start::
+
+    from repro.des import Environment
+
+    def clock(env, name, period):
+        while True:
+            yield env.timeout(period)
+            print(name, env.now)
+
+    env = Environment()
+    env.process(clock(env, "fast", 1.0))
+    env.run(until=3.5)
+"""
+
+from .core import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .events import AllOf, AnyOf, Condition
+from .resources import Container, Resource, Store
+from .distributions import constant, exponential, uniform
+from .monitor import CumulativeFlow, DelayStats, StepSeries
+from .pipeline_sim import ByteQueue, Packet, PipelineSimulation, SimStage
+from .report import SimulationReport, StageStats
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Resource",
+    "Store",
+    "constant",
+    "exponential",
+    "uniform",
+    "CumulativeFlow",
+    "DelayStats",
+    "StepSeries",
+    "ByteQueue",
+    "Packet",
+    "PipelineSimulation",
+    "SimStage",
+    "SimulationReport",
+    "StageStats",
+]

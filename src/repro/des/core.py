@@ -1,0 +1,387 @@
+"""A process-based discrete-event simulation kernel.
+
+The paper's simulation baseline is built on SimPy; SimPy is not
+available in this environment, so this module implements the same
+process-interaction model from scratch:
+
+* an :class:`Environment` owns the clock and the event heap;
+* an :class:`Event` is a one-shot occurrence with callbacks and a value;
+* a :class:`Process` drives a Python generator that ``yield``-s events,
+  resuming (with the event's value) when they fire;
+* :class:`Timeout` schedules a wake-up after a simulated delay.
+
+Semantics follow SimPy's core closely (trigger-then-process two-phase
+event handling, deterministic FIFO ordering for simultaneous events,
+interrupts, failure propagation), so models written against this kernel
+read like SimPy models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Scheduling priorities: URGENT events (process resumptions after
+#: resource operations) run before NORMAL events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """An error raised by the simulation machinery itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life-cycle: *pending* → *triggered* (``succeed``/``fail`` called and
+    the event is scheduled) → *processed* (callbacks have run).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        #: set when a failure's traceback was handed to at least one waiter
+        self._defused = False
+
+    # -- state ----------------------------------------------------------- #
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------ #
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see the exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (already triggered) event's outcome."""
+        if not event.triggered:
+            raise SimulationError("cannot mirror an untriggered event")
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL, 0.0)
+
+    # -- composition ----------------------------------------------------- #
+
+    def __and__(self, other: "Event") -> "Event":
+        from .events import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        from .events import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {hex(id(self))}>"
+
+
+class Initialize(Event):
+    """Immediate event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on exit.
+
+    The generator may ``yield`` any :class:`Event` (including another
+    process); it resumes with the event's value, or the event's
+    exception is thrown into it when the event failed.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not exited."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+
+    # -- generator driving ------------------------------------------------ #
+
+    def _resume(self, event: Event) -> None:
+        # a stale wake-up (e.g. interrupt raced with the awaited event)
+        if self.triggered:
+            return
+        # detach from the event we were waiting on
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        self.env._active = self
+        try:
+            while True:
+                try:
+                    if event is None or event._ok:
+                        nxt = self._generator.send(None if event is None else event._value)
+                    else:
+                        event._defused = True
+                        nxt = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env._schedule(self, NORMAL, 0.0)
+                    return
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self._defused = False
+                    self.env._schedule(self, NORMAL, 0.0)
+                    return
+
+                if not isinstance(nxt, Event):
+                    exc = SimulationError(f"process yielded a non-event: {nxt!r}")
+                    try:
+                        self._generator.throw(exc)
+                    except StopIteration as stop:
+                        self._ok = True
+                        self._value = stop.value
+                        self.env._schedule(self, NORMAL, 0.0)
+                        return
+                    except BaseException as e2:
+                        self._ok = False
+                        self._value = e2
+                        self._defused = False
+                        self.env._schedule(self, NORMAL, 0.0)
+                        return
+                    continue
+                if nxt.env is not self.env:
+                    raise SimulationError("event belongs to a different Environment")
+
+                if nxt.processed:
+                    # already done: continue immediately with its outcome
+                    event = nxt
+                    continue
+                self._target = nxt
+                if nxt.callbacks is None:
+                    raise SimulationError("waiting on a processed event")
+                nxt.callbacks.append(self._resume)
+                return
+        finally:
+            self.env._active = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return f"<Process {name} at {hex(id(self))}>"
+
+
+class Environment:
+    """The simulation world: clock, event heap, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    # -- event factories --------------------------------------------------- #
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when any of ``events`` has fired."""
+        from .events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when all of ``events`` have fired."""
+        from .events import AllOf
+
+        return AllOf(self, list(events))
+
+    # -- scheduling --------------------------------------------------------- #
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when idle)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = t
+        callbacks = event.callbacks
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # a failure nobody waited on must not pass silently
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute simulation
+        time), or an :class:`Event` (whose value is then returned).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_callback)
+            elif stop_event.triggered:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} lies in the past (now={self._now})")
+
+        try:
+            while self._heap and self.peek() <= stop_time:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run() ran out of events before `until` fired")
+            return stop_event.value
+        if not math.isinf(stop_time) and self._now < stop_time:
+            self._now = stop_time
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = True
+        raise event._value

@@ -1,0 +1,56 @@
+"""Service/inter-arrival time distributions for simulation models.
+
+A distribution here is a callable ``(rng: numpy.random.Generator) -> float``
+so stages stay declarative and seeds stay centralised.  The paper's
+simulator draws per-job execution times from ``uniform(min, max)``;
+exponential variants exist for validating the queueing baseline against
+M/M/1 theory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = ["constant", "uniform", "exponential", "Distribution"]
+
+Distribution = Callable[[np.random.Generator], float]
+
+
+def constant(value: float) -> Distribution:
+    """Always ``value`` (deterministic service)."""
+    check_non_negative("value", value)
+
+    def sample(rng: np.random.Generator) -> float:
+        return value
+
+    sample.mean = value  # type: ignore[attr-defined]
+    return sample
+
+
+def uniform(lo: float, hi: float) -> Distribution:
+    """Uniform on ``[lo, hi]`` — the paper's per-job execution time model."""
+    check_non_negative("lo", lo)
+    check_non_negative("hi", hi)
+    if hi < lo:
+        raise ValueError(f"uniform needs lo <= hi, got [{lo}, {hi}]")
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.uniform(lo, hi))
+
+    sample.mean = 0.5 * (lo + hi)  # type: ignore[attr-defined]
+    return sample
+
+
+def exponential(mean: float) -> Distribution:
+    """Exponential with the given mean (Markovian service/arrivals)."""
+    check_positive("mean", mean)
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.exponential(mean))
+
+    sample.mean = mean  # type: ignore[attr-defined]
+    return sample

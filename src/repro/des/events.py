@@ -1,0 +1,71 @@
+"""Composite events: wait for any/all of a set of events.
+
+These mirror SimPy's condition events.  The composite fires with a
+dictionary mapping each *fired* constituent event to its value (for
+``AnyOf``, the events that happened to fire simultaneously are all
+included).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .core import Environment, Event, NORMAL
+
+__all__ = ["AnyOf", "AllOf", "Condition"]
+
+
+class Condition(Event):
+    """Fires when ``check(fired, total)`` becomes true over its events.
+
+    A failed constituent fails the condition immediately.
+    """
+
+    def __init__(self, env: Environment, events: list[Event], check) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._check = check
+        self._done: list[Event] = []
+        for e in self._events:
+            if e.env is not env:
+                raise ValueError("all events must share one Environment")
+        if not self._events:
+            # vacuously satisfied
+            self._value = {}
+            env._schedule(self, NORMAL, 0.0)
+            return
+        for e in self._events:
+            if e.processed:
+                self._on_fire(e)
+            else:
+                e.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done.append(event)
+        if self._check(len(self._done), len(self._events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # preserve constituent order; include only events that actually fired
+        done = set(self._done)
+        return {e: e._value for e in self._events if e in done}
+
+
+class AnyOf(Condition):
+    """Fires as soon as the first of its events fires."""
+
+    def __init__(self, env: Environment, events: list[Event]) -> None:
+        super().__init__(env, events, lambda fired, total: fired >= 1)
+
+
+class AllOf(Condition):
+    """Fires once every one of its events has fired."""
+
+    def __init__(self, env: Environment, events: list[Event]) -> None:
+        super().__init__(env, events, lambda fired, total: fired >= total)

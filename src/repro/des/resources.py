@@ -1,0 +1,225 @@
+"""Shared resources for the DES kernel: stores, containers, resources.
+
+These mirror the SimPy resource triad used by the paper's simulator:
+
+* :class:`Store` — a FIFO queue of discrete items (the inter-stage
+  packet queues);
+* :class:`Container` — a continuous level of homogeneous "stuff"
+  (byte-counted buffers, used for backpressure modelling);
+* :class:`Resource` — counted servers with FIFO request queues.
+
+All operations return events; processes ``yield`` them.  Waiters are
+served strictly FIFO (head-of-line blocking), matching SimPy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Environment, Event, URGENT
+
+__all__ = ["Store", "Container", "Resource"]
+
+
+class _Op(Event):
+    """Base class for pending resource operations (auto-scheduled as URGENT
+    once satisfiable)."""
+
+    def _grant(self, value: Any = None) -> None:
+        self._value = value
+        self.env._schedule(self, URGENT, 0.0)
+
+
+class StorePut(_Op):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(_Op):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """FIFO queue of items with a maximum item count.
+
+    ``put(item)``/``get()`` return events that fire when the operation
+    completes; ``items`` exposes the current contents (read-only use).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Event that fires once ``item`` has been accepted."""
+        ev = StorePut(self, item)
+        self._puts.append(ev)
+        self._update()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Event that fires with the oldest item once one is available."""
+        ev = StoreGet(self)
+        self._gets.append(ev)
+        self._update()
+        return ev
+
+    def _update(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put._grant(None)
+                progress = True
+            if self._gets and self.items:
+                get = self._gets.popleft()
+                get._grant(self.items.pop(0))
+                progress = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ContainerPut(_Op):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class ContainerGet(_Op):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with a capacity (byte buffers, credits, ...).
+
+    FIFO semantics with head-of-line blocking: a large blocked ``get``
+    holds up later smaller ones, which models a byte-FIFO faithfully.
+    """
+
+    def __init__(
+        self, env: Environment, capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._puts: Deque[ContainerPut] = deque()
+        self._gets: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Event firing once ``amount`` fits below the capacity."""
+        ev = ContainerPut(self, amount)
+        if amount > self.capacity:
+            raise ValueError(f"put of {amount} can never fit capacity {self.capacity}")
+        self._puts.append(ev)
+        self._update()
+        return ev
+
+    def get(self, amount: float) -> ContainerGet:
+        """Event firing once ``amount`` can be withdrawn."""
+        ev = ContainerGet(self, amount)
+        self._gets.append(ev)
+        self._update()
+        return ev
+
+    def _update(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                put = self._puts.popleft()
+                self._level += put.amount
+                put._grant(None)
+                progress = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.popleft()
+                self._level -= get.amount
+                get._grant(get.amount)
+                progress = True
+
+
+class ResourceRequest(_Op):
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO request queue.
+
+    Usage::
+
+        with resource.request() as req:
+            yield req
+            ...   # holding one server
+        # released on scope exit
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently held."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        """Event that fires when a server is granted (FIFO order)."""
+        req = ResourceRequest(self)
+        self._queue.append(req)
+        self._update()
+        return req
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a previously granted server (idempotent for safety)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._update()
+        else:
+            # releasing an ungranted request cancels it
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+
+    def _update(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.popleft()
+            self.users.append(req)
+            req._grant(None)

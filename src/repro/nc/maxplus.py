@@ -1,0 +1,43 @@
+"""Max-plus counterparts of the min-plus operators.
+
+Network calculus has a dual formulation in the max-plus algebra
+(addition replaced by supremum): the paper's §2 introduces both.  The
+max-plus operators are obtained from the min-plus ones by the standard
+reflection duality ``sup f = -inf(-f)``:
+
+* max-plus convolution
+  ``(f (*bar) g)(t) = sup_{0<=s<=t} f(s) + g(t-s) = -((-f) (*) (-g))(t)``
+* max-plus deconvolution
+  ``(f (/bar) g)(t) = inf_{u>=0} f(t+u) - g(u) = -((-f) (/) (-g))(t)``
+
+Maximum service curves ``gamma`` interact with flows through these
+duals; in this library the only consumer is the refined output bound
+(which uses min-plus forms directly), so this module primarily serves
+API completeness and the property-based algebra tests.
+"""
+
+from __future__ import annotations
+
+from .curve import Curve, UnboundedCurveError
+from .minplus import convolve, deconvolve
+
+__all__ = ["max_convolve", "max_deconvolve"]
+
+
+def max_convolve(f: Curve, g: Curve) -> Curve:
+    """Max-plus convolution ``sup_{0<=s<=t} f(s) + g(t-s)``."""
+    return -(convolve(-f, -g))
+
+
+def max_deconvolve(f: Curve, g: Curve) -> Curve:
+    """Max-plus deconvolution ``inf_{u>=0} f(t+u) - g(u)``.
+
+    Raises :class:`UnboundedCurveError` (as ``-inf`` is unrepresentable)
+    when ``g`` grows asymptotically faster than ``f``.
+    """
+    try:
+        return -(deconvolve(-f, -g))
+    except UnboundedCurveError as exc:
+        raise UnboundedCurveError(
+            "max-plus deconvolution is -inf: subtrahend grows faster"
+        ) from exc

@@ -1,0 +1,90 @@
+"""Transient (finite-horizon / finite-workload) bounds.
+
+The paper's §3 singles out the regime ``R_alpha > R_beta``, where the
+asymptotic backlog and delay bounds are infinite, and hypothesises that
+the *formula values* still estimate per-job queueing requirements.  Its
+§6 lists "relaxing the constraint R_alpha <= R_beta" as future work.
+This module implements that programme exactly for PWL curves:
+
+* :func:`affine_delay_estimate` / :func:`affine_backlog_estimate` —
+  the raw closed-form values ``T + b/R_beta`` and ``b + R_alpha*T``
+  *without* the stability guard (the paper's hypothesis);
+* :func:`delay_bound_finite_workload` / :func:`backlog_bound_finite_workload`
+  — exact bounds when only a finite job of ``workload`` bytes traverses
+  the system, which are finite even when ``R_alpha > R_beta``;
+* :func:`backlog_bound_horizon` — exact ``sup_{t <= t_max}`` deviation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_non_negative, check_positive
+from .curve import Curve
+from .bounds import pseudo_inverse, vertical_deviation
+
+__all__ = [
+    "affine_delay_estimate",
+    "affine_backlog_estimate",
+    "delay_bound_finite_workload",
+    "backlog_bound_finite_workload",
+    "backlog_bound_horizon",
+]
+
+
+def affine_delay_estimate(burst: float, r_beta: float, latency: float) -> float:
+    """``T + b / R_beta`` with no stability check (paper §3 hypothesis).
+
+    In the stable regime this equals the exact delay bound for a
+    leaky-bucket/rate-latency pair; in the unstable regime it estimates
+    the delay experienced by the *first* burst through the node.
+    """
+    check_non_negative("burst", burst)
+    check_non_negative("latency", latency)
+    check_positive("r_beta", r_beta)
+    return latency + burst / r_beta
+
+
+def affine_backlog_estimate(r_alpha: float, burst: float, latency: float) -> float:
+    """``b + R_alpha * T`` with no stability check (paper §3 hypothesis)."""
+    check_non_negative("r_alpha", r_alpha)
+    check_non_negative("burst", burst)
+    check_non_negative("latency", latency)
+    return burst + r_alpha * latency
+
+
+def _cap_flow(alpha: Curve, workload: float) -> Curve:
+    """The arrival curve of a flow that stops after ``workload`` bytes."""
+    return alpha.minimum(Curve.constant(workload))
+
+
+def delay_bound_finite_workload(alpha: Curve, beta: Curve, workload: float) -> float:
+    """Exact worst-case virtual delay when only ``workload`` bytes flow.
+
+    Equals ``sup_{y <= W} [beta^-1(y) - alpha^-1(y)]`` — finite whenever
+    ``beta`` eventually serves ``W`` bytes, even if ``R_alpha > R_beta``.
+    """
+    check_positive("workload", workload)
+    from .bounds import horizontal_deviation
+
+    capped = _cap_flow(alpha, workload)
+    if math.isinf(pseudo_inverse(beta, workload)):
+        return math.inf
+    return horizontal_deviation(capped, beta)
+
+
+def backlog_bound_finite_workload(alpha: Curve, beta: Curve, workload: float) -> float:
+    """Exact worst-case backlog when only ``workload`` bytes flow.
+
+    ``sup_t [min(alpha(t), W) - beta(t)]`` — the queue can never hold
+    more than the whole job, so this is finite for any positive-rate
+    ``beta``.
+    """
+    check_positive("workload", workload)
+    return max(0.0, vertical_deviation(_cap_flow(alpha, workload), beta))
+
+
+def backlog_bound_horizon(alpha: Curve, beta: Curve, t_max: float) -> float:
+    """Exact ``sup_{0 <= t <= t_max} [alpha(t) - beta(t)]`` (finite horizon)."""
+    check_non_negative("t_max", t_max)
+    return max(0.0, vertical_deviation(alpha, beta, t_max))

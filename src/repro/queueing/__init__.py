@@ -1,0 +1,19 @@
+"""Queueing-theory baselines: M/M/1, M/G/1, and tandem flow analysis.
+
+These implement the model family the paper compares its network
+calculus results against (Faber et al. [12]): per-stage M/M/1 stations
+parameterised by isolated measurements, plus roofline flow analysis for
+throughput prediction.
+"""
+
+from .mm1 import MM1
+from .mg1 import MG1, mg1_from_uniform_service
+from .network import QueueStation, TandemQueueingModel
+
+__all__ = [
+    "MM1",
+    "MG1",
+    "mg1_from_uniform_service",
+    "QueueStation",
+    "TandemQueueingModel",
+]

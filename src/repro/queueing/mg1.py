@@ -1,0 +1,86 @@
+"""M/G/1 queue via the Pollaczek-Khinchine formula.
+
+The paper points out that the M/M/1 baseline "model[s] Markovian
+behaviour at each stage", a limitation absent from both the NC model
+and the simulator (whose service times are uniform, not exponential).
+M/G/1 quantifies that gap: it takes the true service-time variance, so
+the uniform-service stations of the simulator can be predicted exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = ["MG1", "mg1_from_uniform_service"]
+
+
+@dataclass(frozen=True)
+class MG1:
+    """M/G/1 station: Poisson arrivals, general service ``(mean, second moment)``."""
+
+    lam: float
+    service_mean: float
+    service_second_moment: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("lam", self.lam)
+        check_positive("service_mean", self.service_mean)
+        check_positive("service_second_moment", self.service_second_moment)
+        if self.service_second_moment < self.service_mean**2 * (1.0 - 1e-9):
+            raise ValueError("second moment below squared mean (variance < 0)")
+
+    @property
+    def rho(self) -> float:
+        """Utilization ``lambda * E[S]``."""
+        return self.lam * self.service_mean
+
+    @property
+    def stable(self) -> bool:
+        """True when ``rho < 1``."""
+        return self.rho < 1.0
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Pollaczek-Khinchine: ``Wq = lam * E[S^2] / (2 (1 - rho))``."""
+        if not self.stable:
+            return math.inf
+        return self.lam * self.service_second_moment / (2.0 * (1.0 - self.rho))
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """``W = E[S] + Wq``."""
+        if not self.stable:
+            return math.inf
+        return self.service_mean + self.mean_waiting_time
+
+    @property
+    def mean_jobs_in_system(self) -> float:
+        """Little's law: ``L = lam * W``."""
+        if not self.stable:
+            return math.inf
+        return self.lam * self.mean_sojourn_time
+
+    @property
+    def mean_jobs_in_queue(self) -> float:
+        """Little's law on the queue: ``Lq = lam * Wq``."""
+        if not self.stable:
+            return math.inf
+        return self.lam * self.mean_waiting_time
+
+
+def mg1_from_uniform_service(lam: float, t_min: float, t_max: float) -> MG1:
+    """M/G/1 station whose service time is uniform on ``[t_min, t_max]``.
+
+    This matches the simulator's per-job execution model exactly:
+    ``E[S] = (a+b)/2`` and ``E[S^2] = (a^2 + ab + b^2)/3``.
+    """
+    check_non_negative("t_min", t_min)
+    check_non_negative("t_max", t_max)
+    if t_max < t_min:
+        raise ValueError("t_max must be >= t_min")
+    mean = 0.5 * (t_min + t_max)
+    second = (t_min**2 + t_min * t_max + t_max**2) / 3.0
+    return MG1(lam, mean, second)

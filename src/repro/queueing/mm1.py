@@ -1,0 +1,92 @@
+"""Classic M/M/1 queue formulas.
+
+The queueing baseline the paper compares against (Faber et al. [12])
+models every pipeline stage as an M/M/1 station: Poisson arrivals at
+rate ``lam``, exponential service at rate ``mu``, one server, infinite
+queue.  All the textbook steady-state quantities are exposed; unstable
+queues (``rho >= 1``) report infinite averages rather than raising, to
+mirror how the paper discusses the ``R_alpha > R_beta`` regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = ["MM1"]
+
+
+@dataclass(frozen=True)
+class MM1:
+    """An M/M/1 station with arrival rate ``lam`` and service rate ``mu``.
+
+    Rates are in jobs per unit time; convert byte flows by dividing by
+    the job size.
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("lam", self.lam)
+        check_positive("mu", self.mu)
+
+    @property
+    def rho(self) -> float:
+        """Server utilization ``lambda / mu``."""
+        return self.lam / self.mu
+
+    @property
+    def stable(self) -> bool:
+        """True when the queue has a steady state (``rho < 1``)."""
+        return self.rho < 1.0
+
+    @property
+    def mean_jobs_in_system(self) -> float:
+        """``L = rho / (1 - rho)`` (``inf`` when unstable)."""
+        if not self.stable:
+            return math.inf
+        return self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_jobs_in_queue(self) -> float:
+        """``Lq = rho^2 / (1 - rho)`` (``inf`` when unstable)."""
+        if not self.stable:
+            return math.inf
+        return self.rho**2 / (1.0 - self.rho)
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """``W = 1 / (mu - lambda)`` (``inf`` when unstable)."""
+        if not self.stable:
+            return math.inf
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """``Wq = rho / (mu - lambda)`` (``inf`` when unstable)."""
+        if not self.stable:
+            return math.inf
+        return self.rho / (self.mu - self.lam)
+
+    def p_n(self, n: int) -> float:
+        """Steady-state probability of exactly ``n`` jobs in the system."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if not self.stable:
+            return 0.0
+        return (1.0 - self.rho) * self.rho**n
+
+    def queue_length_quantile(self, q: float) -> int:
+        """Smallest ``n`` with ``P(jobs <= n) >= q`` (buffer-sizing aid)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must lie in (0, 1)")
+        if not self.stable:
+            raise ValueError("no steady state: queue is unstable")
+        if self.rho == 0.0:
+            return 0
+        # P(N <= n) = 1 - rho^{n+1}
+        n = math.ceil(math.log(1.0 - q) / math.log(self.rho) - 1.0)
+        return max(0, int(n))

@@ -1,0 +1,150 @@
+"""Paper-versus-reproduction comparison tables.
+
+One function per table/observation set in the paper's evaluation; each
+returns structured rows that the CLI and the benchmark harness format.
+``ours`` values are computed live from the models/simulators; ``paper``
+values are the printed constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .apps.blast import BLAST_PAPER, blast_analysis, blast_simulation
+from .apps.bump_in_the_wire import (
+    BITW_PAPER,
+    bitw_analysis,
+    bitw_pipeline,
+    bitw_simulation,
+)
+from .units import KiB, MiB, format_bytes, format_rate, format_seconds
+
+__all__ = [
+    "Row",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "blast_observation_rows",
+    "bitw_observation_rows",
+    "format_rows",
+]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One comparison line: a quantity, the paper's value, and ours."""
+
+    quantity: str
+    paper: float
+    ours: float
+    fmt: Callable[[float], str] = format_rate
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of our value from the paper's."""
+        if self.paper == 0:
+            return 0.0
+        return (self.ours - self.paper) / self.paper
+
+
+def table1_rows(workload: float = 256 * MiB, seed: int | None = 42) -> list[Row]:
+    """Table 1: BLAST streaming application throughput."""
+    rep = blast_analysis()
+    sim = blast_simulation(workload=workload, seed=seed)
+    return [
+        Row("NC upper bound", BLAST_PAPER.nc_upper_bound, rep.throughput_upper_bound),
+        Row("NC lower bound", BLAST_PAPER.nc_lower_bound, rep.throughput_lower_bound),
+        Row("DES model", BLAST_PAPER.des_throughput, sim.steady_state_throughput),
+        Row("Queueing prediction", BLAST_PAPER.queueing_prediction, rep.queueing_prediction),
+        Row("Measured (external, [12])", BLAST_PAPER.measured_throughput, float("nan")),
+    ]
+
+
+def blast_observation_rows(workload: float = 256 * MiB, seed: int | None = 42) -> list[Row]:
+    """§4.2 numbered observations: delay and backlog, model vs simulation."""
+    rep = blast_analysis()
+    sim = blast_simulation(workload=workload, seed=seed)
+    vd = sim.observed_virtual_delays(skip_initial_fraction=0.15)
+    return [
+        Row("delay bound d", BLAST_PAPER.delay_bound, rep.delay_bound, format_seconds),
+        Row("sim longest delay", BLAST_PAPER.sim_delay_longest, vd.max, format_seconds),
+        Row("sim shortest delay", BLAST_PAPER.sim_delay_shortest, vd.min, format_seconds),
+        Row("backlog bound x", BLAST_PAPER.backlog_bound, rep.backlog_bound, format_bytes),
+        Row(
+            "sim max backlog (paper prints '20.1 KiB', see DESIGN.md)",
+            BLAST_PAPER.sim_backlog,
+            sim.max_backlog_bytes,
+            format_bytes,
+        ),
+    ]
+
+
+def table2_rows() -> list[Row]:
+    """Table 2: per-stage throughput, as the model consumes it.
+
+    The *paper* column reprints Table 2's average column (compress row
+    normalized by the 2.2x average ratio, as the caption states); the
+    *ours* column is our configured stage's input-referred average —
+    identical by construction except for the compressor rounding, so
+    this row set documents the configuration rather than re-measures
+    hardware.  The Python-kernel measurement demo lives in
+    ``benchmarks/bench_table2_stages.py``.
+    """
+    ns = bitw_pipeline().normalized()
+    by_name = {s.name: s for s in ns}
+    paper_avg = {
+        "compress": 2662 * MiB,
+        "encrypt": 68 * MiB,
+        "network": 10 * 1024 * MiB,
+        "decrypt": 90 * MiB,
+        "decompress": 1495 * MiB,
+        "pcie": 11 * 1024 * MiB,
+    }
+    rows = []
+    for name, paper in paper_avg.items():
+        ours = by_name[name].rate_avg
+        if name == "compress":
+            ours = ours * 2.2  # Table 2 prints the ratio-normalized value
+        elif name in ("encrypt", "network", "decrypt", "decompress"):
+            ours = ours / 2.2  # our normalized() already multiplied by 2.2
+        rows.append(Row(f"{name} (avg)", paper, ours))
+    return rows
+
+
+def table3_rows(workload: float = 4 * MiB, seed: int | None = 42) -> list[Row]:
+    """Table 3: bump-in-the-wire throughput."""
+    rep = bitw_analysis()
+    sim = bitw_simulation(workload=workload, seed=seed)
+    return [
+        Row("NC upper bound", BITW_PAPER.nc_upper_bound, rep.throughput_upper_bound),
+        Row("NC lower bound", BITW_PAPER.nc_lower_bound, rep.throughput_lower_bound),
+        Row("DES model", BITW_PAPER.des_throughput, sim.steady_state_throughput),
+        Row("Queueing prediction", BITW_PAPER.queueing_prediction, rep.queueing_prediction),
+    ]
+
+
+def bitw_observation_rows(workload: float = 4 * MiB, seed: int | None = 42) -> list[Row]:
+    """§5 numbered observations: delay and backlog, model vs simulation."""
+    rep = bitw_analysis()
+    sim = bitw_simulation(workload=workload, seed=seed)
+    vd = sim.observed_virtual_delays(skip_initial_fraction=0.15)
+    return [
+        Row("delay bound d", BITW_PAPER.delay_bound, rep.delay_bound, format_seconds),
+        Row("sim longest delay", BITW_PAPER.sim_delay_longest, vd.max, format_seconds),
+        Row("sim shortest delay", BITW_PAPER.sim_delay_shortest, vd.min, format_seconds),
+        Row("backlog bound x", BITW_PAPER.backlog_bound, rep.backlog_bound, format_bytes),
+        Row("sim max backlog", BITW_PAPER.sim_backlog, sim.max_backlog_bytes, format_bytes),
+    ]
+
+
+def format_rows(title: str, rows: list[Row]) -> str:
+    """Render a comparison table with per-row deviations."""
+    import math
+
+    lines = [f"== {title} ==", f"{'quantity':<52} {'paper':>14} {'ours':>14} {'dev':>8}"]
+    for r in rows:
+        ours = "-" if math.isnan(r.ours) else r.fmt(r.ours)
+        dev = "-" if math.isnan(r.ours) else f"{r.deviation:+.1%}"
+        lines.append(f"{r.quantity:<52} {r.fmt(r.paper):>14} {ours:>14} {dev:>8}")
+    return "\n".join(lines)

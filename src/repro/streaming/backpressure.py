@@ -1,0 +1,78 @@
+"""Arrival shaping and backpressure analysis (paper future-work item).
+
+The paper's §6 proposes "utilizing variable rate arrival curves [to]
+introduce the concept of back pressure into the model ... when arrival
+rates need to be changed to accommodate queues that are at risk of
+overflowing".  This module answers the two operational questions:
+
+* :func:`admissible_source_rate` — the largest sustainable input rate
+  (the bottleneck's guaranteed input-referred rate);
+* :func:`shaped_source` — the fastest leaky-bucket source that keeps
+  every node's backlog within a given buffer budget, derived by
+  inverting the affine backlog bound ``x <= b + R*T`` per node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_positive
+from .model import build_model
+from .pipeline import Pipeline, Source
+
+__all__ = ["admissible_source_rate", "shaped_source", "max_rate_for_buffers"]
+
+
+def admissible_source_rate(pipeline: Pipeline) -> float:
+    """Largest long-run input rate the pipeline can absorb (``R_beta``)."""
+    return build_model(pipeline).bottleneck_rate
+
+
+def max_rate_for_buffers(pipeline: Pipeline, buffers: dict[str, float]) -> float:
+    """Largest source rate keeping every node's backlog within ``buffers``.
+
+    Inverts the per-node affine backlog estimate
+    ``x_n <= b_n + R * T_n^local`` for the arrival rate ``R``: a node
+    whose buffer cannot even hold its own aggregated job is infeasible.
+    Nodes with zero local latency impose no rate constraint.
+    """
+    model = build_model(pipeline)
+    rate_cap = admissible_source_rate(pipeline)
+    for s, term in zip(model.normalized, model.latency_terms):
+        if s.name not in buffers:
+            raise KeyError(f"no buffer budget for node {s.name!r}")
+        budget = buffers[s.name]
+        burst = s.job_bytes
+        if budget < burst:
+            raise ValueError(
+                f"buffer of node {s.name!r} ({budget:g} B) cannot hold its "
+                f"own job ({burst:g} B)"
+            )
+        t_local = term.collection_time + term.dispatch_latency
+        if t_local > 0:
+            rate_cap = min(rate_cap, (budget - burst) / t_local)
+    if rate_cap <= 0:
+        raise ValueError("no positive source rate satisfies the buffer budget")
+    return rate_cap
+
+
+def shaped_source(
+    pipeline: Pipeline,
+    buffers: dict[str, float] | None = None,
+    *,
+    utilization: float = 1.0,
+) -> Source:
+    """A shaped replacement source that the pipeline can absorb.
+
+    Without ``buffers`` the rate is the admissible rate scaled by
+    ``utilization``; with ``buffers`` it is additionally capped by
+    :func:`max_rate_for_buffers`.  Burst and packet size are preserved.
+    """
+    check_positive("utilization", utilization)
+    if utilization > 1.0:
+        raise ValueError("utilization must be <= 1")
+    rate = admissible_source_rate(pipeline)
+    if buffers is not None:
+        rate = min(rate, max_rate_for_buffers(pipeline, buffers))
+    src = pipeline.source
+    return Source(rate * utilization, src.burst, src.packet_bytes)

@@ -1,0 +1,78 @@
+"""Buffer sizing from per-node backlog bounds (paper future-work item).
+
+The paper's §4.2 notes that the per-node contributions to the data
+occupancy bound "can assist a developer in allocating buffers", and its
+§6 proposes using the relaxed ``R_alpha > R_beta`` analysis "to guide
+the sizing and allocation of buffers".  This module delivers both:
+overflow-free buffer sizes per node, with an optional safety margin and
+rounding to allocation granules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_positive
+from .analysis import analyze
+from .pipeline import Pipeline
+
+__all__ = ["BufferPlan", "size_buffers"]
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Recommended per-node buffer allocation."""
+
+    pipeline_name: str
+    buffers: dict[str, float]
+    total_bytes: float
+    margin: float
+    granule: float
+
+    def summary(self) -> str:
+        """Human-readable allocation table."""
+        from ..units import format_bytes
+
+        lines = [f"== buffer plan: {self.pipeline_name} (margin {self.margin:.0%}) =="]
+        for name, b in self.buffers.items():
+            lines.append(f"  {name:<16} {format_bytes(b)}")
+        lines.append(f"  {'TOTAL':<16} {format_bytes(self.total_bytes)}")
+        return "\n".join(lines)
+
+
+def size_buffers(
+    pipeline: Pipeline,
+    *,
+    margin: float = 0.25,
+    granule: float = 4096.0,
+    workload: float | None = None,
+) -> BufferPlan:
+    """Overflow-free buffer sizes from the per-node backlog bounds.
+
+    Each node's buffer is its analytic backlog contribution inflated by
+    ``margin`` and rounded up to ``granule`` bytes (page/BRAM-block
+    granularity).  In the unstable regime the bounds are the paper's
+    transient estimates, optionally tightened by a finite ``workload``.
+    """
+    check_non_negative("margin", margin)
+    check_positive("granule", granule)
+    report = analyze(pipeline, workload=workload)
+    buffers: dict[str, float] = {}
+    for node in report.nodes:
+        need = node.backlog_contribution
+        if workload is not None:
+            need = min(need, workload)
+        if math.isinf(need):
+            raise ValueError(
+                f"node {node.name!r} has an unbounded backlog; provide a "
+                f"finite workload or shape the source (see backpressure)"
+            )
+        buffers[node.name] = math.ceil(need * (1.0 + margin) / granule) * granule
+    return BufferPlan(
+        pipeline_name=pipeline.name,
+        buffers=buffers,
+        total_bytes=sum(buffers.values()),
+        margin=margin,
+        granule=granule,
+    )

@@ -1,0 +1,218 @@
+"""Stage descriptions for heterogeneous streaming pipelines.
+
+A :class:`Stage` records what the paper's methodology measures *in
+isolation* for every pipeline node — compute kernels and data-movement
+links alike: minimum/average/maximum throughput, dispatch latency, the
+data block aggregated per job (the *job ratio* numerator) and the
+output granularity (its denominator).
+
+Rates here are **raw**: bytes of the data the stage actually touches,
+per second.  The normalization layer
+(:mod:`repro.streaming.normalization`) converts them to input-referred
+rates using the per-stage volume ratios, after which the network
+calculus and simulation layers operate exclusively on input-referred
+quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = ["StageKind", "Stage", "VolumeRatio"]
+
+
+class StageKind(enum.Enum):
+    """What a node physically is — affects reporting, not the math."""
+
+    COMPUTE = "compute"
+    NETWORK = "network"
+    PCIE = "pcie"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class VolumeRatio:
+    """Output volume per input byte of a stage, under three *data scenarios*.
+
+    The three fields are **scenario-aligned**, not sorted: ``best`` is
+    the stage's volume factor in the scenario most favourable to system
+    throughput (e.g. the best observed compression), ``worst`` the least
+    favourable (incompressible data), ``avg`` the typical one.  Scenario
+    alignment is what lets a decompressor *cancel* its compressor in the
+    cumulative product (the paper's "removed from downstream maximum
+    service curves after decompression").
+
+    ``1.0`` everywhere is a pass-through; ``fixed(0.25)`` models e.g.
+    ``fa2bit``'s deterministic 4:1 packing.
+    """
+
+    best: float = 1.0
+    avg: float = 1.0
+    worst: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("best", "avg", "worst"):
+            check_positive(f"volume ratio {name}", getattr(self, name))
+
+    @classmethod
+    def identity(cls) -> "VolumeRatio":
+        """Pass-through stage (no volume change)."""
+        return cls(1.0, 1.0, 1.0)
+
+    @classmethod
+    def from_compression(
+        cls, avg_ratio: float, min_ratio: float = 1.0, max_ratio: float | None = None
+    ) -> "VolumeRatio":
+        """From compression *ratios* (input/output, >= 1 compresses).
+
+        ``min_ratio`` is the worst (least) compression and ``max_ratio``
+        the best; the paper's LZ4 numbers are ``2.2/1.0/5.3``.
+        """
+        if max_ratio is None:
+            max_ratio = avg_ratio
+        for n, v in (("avg", avg_ratio), ("min", min_ratio), ("max", max_ratio)):
+            check_positive(f"{n}_ratio", v)
+        if not min_ratio <= avg_ratio <= max_ratio:
+            raise ValueError("compression ratios must satisfy min <= avg <= max")
+        return cls(best=1.0 / max_ratio, avg=1.0 / avg_ratio, worst=1.0 / min_ratio)
+
+    @classmethod
+    def fixed(cls, ratio: float) -> "VolumeRatio":
+        """Deterministic volume scaling (e.g. 0.25 for 2-bit packing)."""
+        return cls(ratio, ratio, ratio)
+
+    def inverse(self) -> "VolumeRatio":
+        """The scenario-aligned inverse (a matching decompressor/decoder)."""
+        return VolumeRatio(1.0 / self.best, 1.0 / self.avg, 1.0 / self.worst)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """Isolated measurements of one pipeline node.
+
+    Parameters
+    ----------
+    name:
+        stage identifier (unique within a pipeline).
+    avg_rate / min_rate / max_rate:
+        raw measured throughput in bytes/s over the data the stage
+        touches (min = worst observed, used for the service curve
+        ``beta``; max = best observed, used for the maximum service
+        curve ``gamma``).
+    latency:
+        dispatch/initiation latency ``T_n`` in seconds (time before the
+        first byte of a job emerges, beyond the rate-limited part).
+    job_bytes:
+        data volume (in this stage's local bytes) aggregated before a
+        job is dispatched — ``b_n`` in the paper's job-ratio latency
+        recursion.  GPU batching and network MTU-chunking live here.
+    emit_bytes:
+        output block granularity (defaults to ``job_bytes`` times the
+        average volume ratio); the job ratio shown under the nodes of
+        the paper's Fig. 3 is ``job_bytes / emit_bytes``.
+    volume_ratio:
+        output volume per input byte (see :class:`VolumeRatio`).
+    kind:
+        compute / network / PCIe / memory (reporting only).
+    """
+
+    name: str
+    avg_rate: float
+    min_rate: float | None = None
+    max_rate: float | None = None
+    latency: float = 0.0
+    job_bytes: float = 1.0
+    emit_bytes: float | None = None
+    volume_ratio: VolumeRatio = field(default_factory=VolumeRatio.identity)
+    kind: StageKind = StageKind.COMPUTE
+    #: measured per-job execution-time extremes (seconds for one
+    #: ``job_bytes`` job), used by the simulator.  Defaults derive from the
+    #: rate extremes; override when the observed per-job jitter is narrower
+    #: than the long-run rate spread (e.g. a GPU kernel whose per-batch time
+    #: barely varies even though isolated-average throughput differs).
+    exec_time_min: float | None = None
+    exec_time_max: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.exec_time_min is None) != (self.exec_time_max is None):
+            raise ValueError("provide both exec_time_min and exec_time_max or neither")
+        if self.exec_time_min is not None:
+            check_positive("exec_time_min", self.exec_time_min)
+            check_positive("exec_time_max", self.exec_time_max)
+            if self.exec_time_max < self.exec_time_min:
+                raise ValueError("exec_time_max must be >= exec_time_min")
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        check_positive("avg_rate", self.avg_rate)
+        if self.min_rate is not None:
+            check_positive("min_rate", self.min_rate)
+        if self.max_rate is not None:
+            check_positive("max_rate", self.max_rate)
+        rmin = self.min_rate if self.min_rate is not None else self.avg_rate
+        rmax = self.max_rate if self.max_rate is not None else self.avg_rate
+        if not rmin <= self.avg_rate <= rmax:
+            raise ValueError(
+                f"stage {self.name!r}: need min_rate <= avg_rate <= max_rate, "
+                f"got {rmin}/{self.avg_rate}/{rmax}"
+            )
+        check_non_negative("latency", self.latency)
+        check_positive("job_bytes", self.job_bytes)
+        if self.emit_bytes is not None:
+            check_positive("emit_bytes", self.emit_bytes)
+
+    # -- effective values --------------------------------------------------- #
+
+    @property
+    def rate_min(self) -> float:
+        """Worst-case raw rate (defaults to ``avg_rate``)."""
+        return self.avg_rate if self.min_rate is None else self.min_rate
+
+    @property
+    def rate_max(self) -> float:
+        """Best-case raw rate (defaults to ``avg_rate``)."""
+        return self.avg_rate if self.max_rate is None else self.max_rate
+
+    @property
+    def output_bytes(self) -> float:
+        """Output block granularity (local bytes)."""
+        if self.emit_bytes is not None:
+            return self.emit_bytes
+        return self.job_bytes * self.volume_ratio.avg
+
+    @property
+    def job_ratio(self) -> float:
+        """Input block size over output block size (Fig. 3 annotation)."""
+        return self.job_bytes / self.output_bytes
+
+    def with_rates(self, min_rate: float, avg_rate: float, max_rate: float) -> "Stage":
+        """Copy of this stage with replaced rate measurements."""
+        return replace(self, min_rate=min_rate, avg_rate=avg_rate, max_rate=max_rate)
+
+    @classmethod
+    def link(
+        cls,
+        name: str,
+        rate: float,
+        *,
+        latency: float = 0.0,
+        mtu: float = 1.0,
+        kind: StageKind = StageKind.NETWORK,
+    ) -> "Stage":
+        """A deterministic communication link (network or PCIe).
+
+        Links move data at a fixed ``rate`` with per-transfer units of
+        ``mtu`` bytes; min = avg = max rate.
+        """
+        return cls(
+            name,
+            avg_rate=rate,
+            min_rate=rate,
+            max_rate=rate,
+            latency=latency,
+            job_bytes=mtu,
+            kind=kind,
+        )

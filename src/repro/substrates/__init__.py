@@ -1,0 +1,6 @@
+"""Substrate implementations the case studies are built from.
+
+* :mod:`repro.substrates.bio` — the BLASTN computation pipeline;
+* :mod:`repro.substrates.dataproc` — LZ4 and AES-CBC kernels;
+* :mod:`repro.substrates.net` — stream FIFO, TCP, and PCIe link models.
+"""

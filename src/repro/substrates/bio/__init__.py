@@ -1,0 +1,41 @@
+"""BLASTN computation substrate: the paper's Fig.-2 pipeline, functional.
+
+A real (NumPy-vectorised) implementation of the biosequence pipeline
+the BLAST case study models: FASTA parsing, ``fa2bit`` 2-bit packing,
+query k-mer hashing, seed matching/enumeration, and the small/ungapped
+extension filters — used as the workload generator and filter-ratio
+source for the performance model.
+"""
+
+from .fasta import FastaRecord, parse_fasta, write_fasta
+from .twobit import (
+    bit2fa,
+    decode_bases,
+    encode_bases,
+    fa2bit,
+    pack_2bit,
+    unpack_2bit,
+)
+from .kmer import DEFAULT_K, KmerTable, kmer_values
+from .scoring import ScoringScheme, best_ungapped_extension
+from .blastn import BlastHit, BlastnPipeline, StageCounts
+
+__all__ = [
+    "FastaRecord",
+    "parse_fasta",
+    "write_fasta",
+    "bit2fa",
+    "decode_bases",
+    "encode_bases",
+    "fa2bit",
+    "pack_2bit",
+    "unpack_2bit",
+    "DEFAULT_K",
+    "KmerTable",
+    "kmer_values",
+    "ScoringScheme",
+    "best_ungapped_extension",
+    "BlastHit",
+    "BlastnPipeline",
+    "StageCounts",
+]

@@ -1,0 +1,193 @@
+"""The staged BLASTN computation (paper Fig. 2), vectorised with NumPy.
+
+Stages mirror the paper's pipeline exactly:
+
+1. **fa2bit** — 2-bit packing (in :mod:`.twobit`, applied by callers);
+2. **seed match** — each byte-aligned (stride-4) database 8-mer is
+   checked against the query hash table;
+3. **seed enumeration** — matching positions are expanded to all
+   ``(p, q)`` pairs where the 8-mer occurs in the query;
+4. **small extension** — each pair is extended exactly up to 3 bases
+   left and right and kept only if the exact match reaches length 11;
+5. **ungapped extension** — surviving pairs are scored with
+   match/mismatch extension inside a 128-base window and kept above a
+   score threshold.
+
+Besides the hits, :meth:`BlastnPipeline.search` reports per-stage
+input/output counts: the *filter ratios* that make BLASTN's stages
+irregular, which are exactly what the streaming performance model needs
+from a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kmer import DEFAULT_K, KmerTable, kmer_values
+from .scoring import ScoringScheme, best_ungapped_extension
+from .twobit import encode_bases
+
+__all__ = ["BlastHit", "StageCounts", "BlastnPipeline"]
+
+
+@dataclass(frozen=True)
+class BlastHit:
+    """A reported alignment seed: database/query positions and its score."""
+
+    db_pos: int
+    query_pos: int
+    score: int
+
+
+@dataclass
+class StageCounts:
+    """Items entering/leaving each pipeline stage during one search."""
+
+    seed_match_in: int = 0
+    seed_match_out: int = 0
+    seed_enum_out: int = 0
+    small_ext_out: int = 0
+    ungapped_out: int = 0
+
+    def filter_ratios(self) -> dict[str, float]:
+        """Output/input ratio of each stage (1.0 when a stage saw nothing)."""
+
+        def ratio(out: int, inp: int) -> float:
+            return out / inp if inp else 1.0
+
+        return {
+            "seed_match": ratio(self.seed_match_out, self.seed_match_in),
+            "seed_enum": ratio(self.seed_enum_out, self.seed_match_out),
+            "small_ext": ratio(self.small_ext_out, self.seed_enum_out),
+            "ungapped_ext": ratio(self.ungapped_out, self.small_ext_out),
+        }
+
+
+class BlastnPipeline:
+    """A query-indexed BLASTN search over 2-bit database sequences."""
+
+    def __init__(
+        self,
+        query: str,
+        *,
+        k: int = DEFAULT_K,
+        scheme: ScoringScheme = ScoringScheme(),
+        window: int = 128,
+        score_threshold: int = 16,
+        small_ext_min_len: int = 11,
+        stride: int = 4,
+    ) -> None:
+        if score_threshold < 1:
+            raise ValueError("score_threshold must be >= 1")
+        if small_ext_min_len < k:
+            raise ValueError("small_ext_min_len must be >= k")
+        self.k = k
+        self.scheme = scheme
+        self.window = window
+        self.score_threshold = score_threshold
+        self.small_ext_min_len = small_ext_min_len
+        self.stride = stride
+        self.query_codes = encode_bases(query)
+        self.table = KmerTable.from_query(query, k)
+
+    # ------------------------------------------------------------------ #
+    # individual stages (public so the calibration layer can time them
+    # in isolation, the paper's measurement methodology)
+    # ------------------------------------------------------------------ #
+
+    def seed_match(self, db_codes: np.ndarray) -> np.ndarray:
+        """Positions ``p`` whose byte-aligned 8-mer occurs in the query."""
+        vals = kmer_values(db_codes, self.k, stride=self.stride)
+        mask = self.table.contains_mask(vals)
+        return np.flatnonzero(mask).astype(np.int64) * self.stride
+
+    def seed_enumeration(self, db_codes: np.ndarray, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand each matching position to every ``(p, q)`` pair."""
+        ps: list[np.ndarray] = []
+        qs: list[np.ndarray] = []
+        vals = kmer_values(db_codes, self.k)
+        for p in positions:
+            q = self.table.positions(int(vals[p]))
+            if len(q):
+                ps.append(np.full(len(q), p, dtype=np.int64))
+                qs.append(q)
+        if not ps:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(ps), np.concatenate(qs)
+
+    def small_extension(
+        self, db_codes: np.ndarray, ps: np.ndarray, qs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Keep pairs whose exact match extends to ``small_ext_min_len``.
+
+        Each seed is extended by up to 3 exactly-matching bases on each
+        side (vectorised over all pairs).
+        """
+        if len(ps) == 0:
+            return ps, qs
+        db = np.asarray(db_codes, dtype=np.int64)
+        q = np.asarray(self.query_codes, dtype=np.int64)
+        left = np.zeros(len(ps), dtype=np.int64)
+        alive = np.ones(len(ps), dtype=bool)
+        for d in range(1, 4):
+            pi, qi = ps - d, qs - d
+            ok = alive & (pi >= 0) & (qi >= 0)
+            same = np.zeros(len(ps), dtype=bool)
+            same[ok] = db[pi[ok]] == q[qi[ok]]
+            alive &= same
+            left += alive.astype(np.int64)
+        right = np.zeros(len(ps), dtype=np.int64)
+        alive = np.ones(len(ps), dtype=bool)
+        for d in range(3):
+            pi, qi = ps + self.k + d, qs + self.k + d
+            ok = alive & (pi < len(db)) & (qi < len(q))
+            same = np.zeros(len(ps), dtype=bool)
+            same[ok] = db[pi[ok]] == q[qi[ok]]
+            alive &= same
+            right += alive.astype(np.int64)
+        keep = (self.k + left + right) >= self.small_ext_min_len
+        return ps[keep], qs[keep]
+
+    def ungapped_extension(
+        self, db_codes: np.ndarray, ps: np.ndarray, qs: np.ndarray
+    ) -> list[BlastHit]:
+        """Score each surviving pair; keep those above the threshold."""
+        hits: list[BlastHit] = []
+        for p, q in zip(ps, qs):
+            score = best_ungapped_extension(
+                db_codes,
+                self.query_codes,
+                int(p),
+                int(q),
+                self.k,
+                self.scheme,
+                self.window,
+            )
+            if score >= self.score_threshold:
+                hits.append(BlastHit(int(p), int(q), int(score)))
+        return hits
+
+    # ------------------------------------------------------------------ #
+
+    def search(self, db: "str | np.ndarray") -> tuple[list[BlastHit], StageCounts]:
+        """Run the full staged search over a database sequence."""
+        db_codes = encode_bases(db) if isinstance(db, str) else np.asarray(db)
+        counts = StageCounts()
+        n_kmers = max(0, (len(db_codes) - self.k) // self.stride + 1)
+        counts.seed_match_in = n_kmers
+
+        positions = self.seed_match(db_codes)
+        counts.seed_match_out = len(positions)
+
+        ps, qs = self.seed_enumeration(db_codes, positions)
+        counts.seed_enum_out = len(ps)
+
+        ps, qs = self.small_extension(db_codes, ps, qs)
+        counts.small_ext_out = len(ps)
+
+        hits = self.ungapped_extension(db_codes, ps, qs)
+        counts.ungapped_out = len(hits)
+        return hits, counts

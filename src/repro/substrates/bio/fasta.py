@@ -1,0 +1,70 @@
+"""Minimal FASTA reading/writing for the BLAST substrate.
+
+The BLAST pipeline's input is "the DNA database to be searched,
+represented in FASTA format"; this module provides the parsing half of
+the ``fa2bit`` pre-processing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["FastaRecord", "parse_fasta", "write_fasta"]
+
+_VALID = set("ACGTN")
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: a header (without ``>``) and its sequence."""
+
+    header: str
+    sequence: str
+
+    def __post_init__(self) -> None:
+        bad = set(self.sequence.upper()) - _VALID
+        if bad:
+            raise ValueError(f"invalid DNA characters: {sorted(bad)}")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def parse_fasta(text: str) -> list[FastaRecord]:
+    """Parse FASTA text into records.
+
+    Sequences are upper-cased; blank lines are ignored; text before the
+    first header is rejected.
+    """
+    records: list[FastaRecord] = []
+    header: str | None = None
+    chunks: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                records.append(FastaRecord(header, "".join(chunks).upper()))
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("sequence data before the first FASTA header")
+            chunks.append(line)
+    if header is not None:
+        records.append(FastaRecord(header, "".join(chunks).upper()))
+    return records
+
+
+def write_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
+    """Render records back to FASTA text with ``width``-column wrapping."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines: list[str] = []
+    for r in records:
+        lines.append(f">{r.header}")
+        for i in range(0, len(r.sequence), width):
+            lines.append(r.sequence[i : i + width])
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,88 @@
+"""Match scoring and ungapped extension for BLASTN.
+
+BLASTN scores ungapped alignments with a simple match-reward /
+mismatch-penalty scheme; the ungapped-extension stage grows a seed
+match "to the left and right, this time allowing scoring of both
+matches and mismatches", limited to a fixed window around the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScoringScheme", "best_ungapped_extension"]
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Match/mismatch rewards used by the extension stages.
+
+    Defaults mirror BLASTN's classic +1/-3 (megablast uses +1/-2; either
+    works — the pipeline's filter behaviour, not the exact scores, is
+    what feeds the performance model).
+    """
+
+    match: int = 1
+    mismatch: int = -3
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match reward must be positive")
+        if self.mismatch >= 0:
+            raise ValueError("mismatch penalty must be negative")
+
+
+def best_ungapped_extension(
+    db: np.ndarray,
+    query: np.ndarray,
+    p: int,
+    q: int,
+    seed_len: int,
+    scheme: ScoringScheme = ScoringScheme(),
+    window: int = 128,
+) -> int:
+    """Best ungapped-extension score of the seed ``db[p:p+k] == query[q:q+k]``.
+
+    Extends left from ``(p-1, q-1)`` and right from ``(p+k, q+k)``,
+    keeping the best prefix score in each direction (classic maximal
+    ungapped extension), with both directions confined to ``window``
+    bases around the seed (the paper's implementation uses a fixed
+    128-base window centred on the seed match).
+    """
+    if seed_len <= 0:
+        raise ValueError("seed_len must be positive")
+    if window < seed_len:
+        raise ValueError("window must cover at least the seed")
+    db = np.asarray(db)
+    query = np.asarray(query)
+    if not (0 <= p <= len(db) - seed_len and 0 <= q <= len(query) - seed_len):
+        raise ValueError("seed lies outside the sequences")
+
+    score = seed_len * scheme.match
+    half = (window - seed_len) // 2
+
+    # left extension
+    best_left = 0
+    running = 0
+    for step in range(1, half + 1):
+        i, j = p - step, q - step
+        if i < 0 or j < 0:
+            break
+        running += scheme.match if db[i] == query[j] else scheme.mismatch
+        if running > best_left:
+            best_left = running
+
+    # right extension
+    best_right = 0
+    running = 0
+    for step in range(half + 1):
+        i, j = p + seed_len + step, q + seed_len + step
+        if i >= len(db) or j >= len(query):
+            break
+        running += scheme.match if db[i] == query[j] else scheme.mismatch
+        if running > best_right:
+            best_right = running
+
+    return score + best_left + best_right

@@ -1,0 +1,84 @@
+"""``fa2bit``: 2-bit DNA packing (the DIBS pre-processing stage).
+
+The first BLAST pipeline node converts the FASTA database to two bits
+per base — a deterministic 4:1 data-volume reduction (the kind of
+"natural lossless data compression" the paper normalizes for).  This is
+a NumPy-vectorised implementation: encode maps A/C/G/T to 0..3 and
+packs four bases per byte; decode reverses it exactly.
+
+Ambiguous ``N`` bases have no 2-bit encoding; following the common
+convention for seed-matching pipelines they are rejected here (callers
+split sequences on ``N`` runs first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["encode_bases", "decode_bases", "pack_2bit", "unpack_2bit", "fa2bit", "bit2fa"]
+
+_BASE_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(b"ACGT"):
+    _BASE_TO_CODE[_b] = _i
+_CODE_TO_BASE = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def encode_bases(seq: str) -> np.ndarray:
+    """Map a DNA string to a ``uint8`` array of 2-bit codes (A=0..T=3)."""
+    raw = np.frombuffer(seq.upper().encode("ascii"), dtype=np.uint8)
+    codes = _BASE_TO_CODE[raw]
+    if np.any(codes == 255):
+        bad = sorted(set(chr(c) for c in raw[codes == 255]))
+        raise ValueError(f"sequence contains unencodable characters: {bad}")
+    return codes
+
+
+def decode_bases(codes: np.ndarray) -> str:
+    """Inverse of :func:`encode_bases`."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) > 3:
+        raise ValueError("codes must be in 0..3")
+    return _CODE_TO_BASE[codes].tobytes().decode("ascii")
+
+
+def pack_2bit(codes: np.ndarray) -> tuple[bytes, int]:
+    """Pack 2-bit codes four-per-byte (first base in the low bits).
+
+    Returns ``(packed, n_bases)`` — the base count is needed because the
+    final byte may be partial.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = len(codes)
+    padded = np.zeros((n + 3) // 4 * 4, dtype=np.uint8)
+    padded[:n] = codes
+    quads = padded.reshape(-1, 4)
+    packed = (
+        quads[:, 0]
+        | (quads[:, 1] << 2)
+        | (quads[:, 2] << 4)
+        | (quads[:, 3] << 6)
+    ).astype(np.uint8)
+    return packed.tobytes(), n
+
+
+def unpack_2bit(packed: bytes, n_bases: int) -> np.ndarray:
+    """Inverse of :func:`pack_2bit`."""
+    raw = np.frombuffer(packed, dtype=np.uint8)
+    if n_bases < 0 or n_bases > 4 * len(raw):
+        raise ValueError(f"n_bases={n_bases} inconsistent with {len(raw)} packed bytes")
+    codes = np.empty((len(raw), 4), dtype=np.uint8)
+    codes[:, 0] = raw & 3
+    codes[:, 1] = (raw >> 2) & 3
+    codes[:, 2] = (raw >> 4) & 3
+    codes[:, 3] = (raw >> 6) & 3
+    return codes.reshape(-1)[:n_bases].copy()
+
+
+def fa2bit(seq: str) -> tuple[bytes, int]:
+    """The full pre-processing stage: DNA string to packed 2-bit bytes."""
+    return pack_2bit(encode_bases(seq))
+
+
+def bit2fa(packed: bytes, n_bases: int) -> str:
+    """Inverse of :func:`fa2bit` (exact round trip)."""
+    return decode_bases(unpack_2bit(packed, n_bases))

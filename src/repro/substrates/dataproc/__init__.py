@@ -1,0 +1,28 @@
+"""Data-processing kernels for the bump-in-the-wire substrate.
+
+Real, pure-Python implementations of the two Vitis kernels the paper
+offloads — the LZ4 block codec and AES (CBC) — plus the stream-chunking
+utilities used to measure compression-ratio statistics.
+"""
+
+from .lz4 import CorruptBlockError, compress_block, compression_ratio, decompress_block
+from .aes import AES, BLOCK_SIZE
+from .modes import PaddingError, cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+from .chunking import RatioStats, chunk_stream, measure_chunked_ratios
+
+__all__ = [
+    "CorruptBlockError",
+    "compress_block",
+    "compression_ratio",
+    "decompress_block",
+    "AES",
+    "BLOCK_SIZE",
+    "PaddingError",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "RatioStats",
+    "chunk_stream",
+    "measure_chunked_ratios",
+]

@@ -1,0 +1,195 @@
+"""AES block cipher core (pure Python, FIPS-197).
+
+The bump-in-the-wire pipeline offloads a 256-bit AES kernel; this is a
+complete, test-vector-verified implementation of the AES core for all
+three key sizes (128/192/256), used by :mod:`.modes` for the CBC mode
+the paper's kernel runs, and by the calibration layer as a measurable
+stand-in kernel.
+
+The implementation follows the specification directly (S-box, shift
+rows, xtime-based mix columns, key expansion with round constants); it
+optimises only the obvious (precomputed S-boxes as ``bytes`` tables).
+It is *not* constant-time and must not be used to protect real data —
+it exists to exercise the performance-measurement code paths.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+#: AES block size in bytes.
+BLOCK_SIZE = 16
+
+# ---- S-box generation (from the multiplicative inverse in GF(2^8)) ---- #
+
+
+def _build_sboxes() -> tuple[bytes, bytes]:
+    # multiplicative inverse table via exp/log over generator 3
+    exp = [0] * 510
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by the generator 0x03 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 510):
+        exp[i] = exp[i - 255]
+
+    def inv(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    for a in range(256):
+        b = inv(a)
+        # affine transformation
+        s = b
+        for _ in range(4):
+            b = ((b << 1) | (b >> 7)) & 0xFF
+            s ^= b
+        sbox[a] = s ^ 0x63
+    inv_sbox = bytearray(256)
+    for a, s in enumerate(sbox):
+        inv_sbox[s] = a
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sboxes()
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook; used in inverse mix columns)."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a = _xtime(a)
+        b >>= 1
+    return out
+
+
+class AES:
+    """The AES block cipher with a fixed key.
+
+    ``encrypt_block``/``decrypt_block`` operate on exactly 16 bytes;
+    chaining modes live in :mod:`repro.substrates.dataproc.modes`.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        key = bytes(key)
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = key
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # ------------------------------------------------------------------ #
+    # key schedule
+    # ------------------------------------------------------------------ #
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        rcon = 1
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= rcon
+                rcon = _xtime(rcon)
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]  # extra SubWord for AES-256
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # group into 16-byte round keys
+        return [
+            [b for w in words[4 * r : 4 * r + 4] for b in w]
+            for r in range(self.rounds + 1)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # round primitives (state is a flat list of 16 bytes, column-major
+    # as in the standard: state[r + 4c])
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(s: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a = s[4 * c : 4 * c + 4]
+            t = a[0] ^ a[1] ^ a[2] ^ a[3]
+            out[4 * c + 0] = a[0] ^ t ^ _xtime(a[0] ^ a[1])
+            out[4 * c + 1] = a[1] ^ t ^ _xtime(a[1] ^ a[2])
+            out[4 * c + 2] = a[2] ^ t ^ _xtime(a[2] ^ a[3])
+            out[4 * c + 3] = a[3] ^ t ^ _xtime(a[3] ^ a[0])
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(s: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a = s[4 * c : 4 * c + 4]
+            out[4 * c + 0] = _mul(a[0], 14) ^ _mul(a[1], 11) ^ _mul(a[2], 13) ^ _mul(a[3], 9)
+            out[4 * c + 1] = _mul(a[0], 9) ^ _mul(a[1], 14) ^ _mul(a[2], 11) ^ _mul(a[3], 13)
+            out[4 * c + 2] = _mul(a[0], 13) ^ _mul(a[1], 9) ^ _mul(a[2], 14) ^ _mul(a[3], 11)
+            out[4 * c + 3] = _mul(a[0], 11) ^ _mul(a[1], 13) ^ _mul(a[2], 9) ^ _mul(a[3], 14)
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        s = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for rnd in range(1, self.rounds):
+            s = [_SBOX[b] for b in s]
+            s = self._shift_rows(s)
+            s = self._mix_columns(s)
+            s = [b ^ k for b, k in zip(s, self._round_keys[rnd])]
+        s = [_SBOX[b] for b in s]
+        s = self._shift_rows(s)
+        s = [b ^ k for b, k in zip(s, self._round_keys[self.rounds])]
+        return bytes(s)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        s = [b ^ k for b, k in zip(block, self._round_keys[self.rounds])]
+        s = self._inv_shift_rows(s)
+        s = [_INV_SBOX[b] for b in s]
+        for rnd in range(self.rounds - 1, 0, -1):
+            s = [b ^ k for b, k in zip(s, self._round_keys[rnd])]
+            s = self._inv_mix_columns(s)
+            s = self._inv_shift_rows(s)
+            s = [_INV_SBOX[b] for b in s]
+        s = [b ^ k for b, k in zip(s, self._round_keys[0])]
+        return bytes(s)

@@ -1,0 +1,178 @@
+"""LZ4 block-format compressor and decompressor (pure Python).
+
+The paper's bump-in-the-wire application offloads the Vitis streaming
+LZ4 kernel; this module implements the same algorithm — the documented
+LZ4 *block* format — so the measurement methodology (isolated
+throughput, observed compression ratios) can be exercised end-to-end on
+real data:
+
+* sequences of ``[token][literal-length*][literals][offset][match-length*]``,
+* 4-byte minimum matches found through a hash table of recent positions,
+* 16-bit match offsets (64 KiB window),
+* end-of-block rules: the last 5 bytes are always literals and no match
+  may start within the last 12 bytes.
+
+The compressor is greedy (like the reference ``LZ4_compress_default``)
+and the decompressor handles overlapping copies byte-exactly, so
+``decompress_block(compress_block(x), len(x)) == x`` for arbitrary
+bytes — property-tested in the suite.
+"""
+
+from __future__ import annotations
+
+__all__ = ["compress_block", "decompress_block", "compression_ratio", "CorruptBlockError"]
+
+_MIN_MATCH = 4
+_MFLIMIT = 12  # no match may start within this many bytes of the end
+_LAST_LITERALS = 5
+_MAX_OFFSET = 0xFFFF
+_HASH_LOG = 16
+
+
+class CorruptBlockError(ValueError):
+    """Raised when a compressed block cannot be decoded."""
+
+
+def _hash(seq: int) -> int:
+    # Fibonacci hashing of a 32-bit little-endian window (reference-style)
+    return ((seq * 2654435761) & 0xFFFFFFFF) >> (32 - _HASH_LOG)
+
+
+def _write_length(n: int, out: bytearray) -> None:
+    """LZ4 extended-length encoding: 255-bytes then the remainder."""
+    while n >= 255:
+        out.append(255)
+        n -= 255
+    out.append(n)
+
+
+def compress_block(data: bytes) -> bytes:
+    """Compress ``data`` into an LZ4 block.
+
+    Never fails: incompressible input degrades to a literal-only block
+    (slightly larger than the input, as in the real format).
+    """
+    data = bytes(data)
+    n = len(data)
+    out = bytearray()
+    if n == 0:
+        # a single empty-literal token terminates the block
+        out.append(0)
+        return bytes(out)
+
+    table: dict[int, int] = {}
+    anchor = 0  # start of pending literals
+    i = 0
+    limit = n - _MFLIMIT
+
+    while i <= limit and n >= _MFLIMIT + 1:
+        seq = int.from_bytes(data[i : i + 4], "little")
+        h = _hash(seq)
+        cand = table.get(h, -1)
+        table[h] = i
+        if (
+            cand >= 0
+            and i - cand <= _MAX_OFFSET
+            and data[cand : cand + 4] == data[i : i + 4]
+        ):
+            # extend the match forward, stopping before the tail region
+            match_len = 4
+            max_len = (n - _LAST_LITERALS) - i
+            while (
+                match_len < max_len
+                and data[cand + match_len] == data[i + match_len]
+            ):
+                match_len += 1
+            # emit sequence: literals [anchor, i) then the match
+            lit_len = i - anchor
+            token_lit = 15 if lit_len >= 15 else lit_len
+            token_match = 15 if match_len - _MIN_MATCH >= 15 else match_len - _MIN_MATCH
+            out.append((token_lit << 4) | token_match)
+            if lit_len >= 15:
+                _write_length(lit_len - 15, out)
+            out += data[anchor:i]
+            out += (i - cand).to_bytes(2, "little")
+            if match_len - _MIN_MATCH >= 15:
+                _write_length(match_len - _MIN_MATCH - 15, out)
+            i += match_len
+            anchor = i
+        else:
+            i += 1
+
+    # final literal run
+    lit_len = n - anchor
+    token_lit = 15 if lit_len >= 15 else lit_len
+    out.append(token_lit << 4)
+    if lit_len >= 15:
+        _write_length(lit_len - 15, out)
+    out += data[anchor:]
+    return bytes(out)
+
+
+def _read_length(buf: bytes, pos: int, base: int) -> tuple[int, int]:
+    length = base
+    if base == 15:
+        while True:
+            if pos >= len(buf):
+                raise CorruptBlockError("truncated length encoding")
+            b = buf[pos]
+            pos += 1
+            length += b
+            if b != 255:
+                break
+    return length, pos
+
+
+def decompress_block(block: bytes, max_size: int) -> bytes:
+    """Decode an LZ4 block into at most ``max_size`` bytes.
+
+    Raises :class:`CorruptBlockError` on malformed input (truncated
+    sequences, offsets pointing before the output start, or output
+    exceeding ``max_size``).
+    """
+    if max_size < 0:
+        raise ValueError("max_size must be >= 0")
+    block = bytes(block)
+    out = bytearray()
+    pos = 0
+    n = len(block)
+    if n == 0:
+        raise CorruptBlockError("empty input is not a valid block")
+
+    while pos < n:
+        token = block[pos]
+        pos += 1
+        lit_len, pos = _read_length(block, pos, token >> 4)
+        if pos + lit_len > n:
+            raise CorruptBlockError("literal run past end of block")
+        out += block[pos : pos + lit_len]
+        pos += lit_len
+        if len(out) > max_size:
+            raise CorruptBlockError(f"output exceeds max_size={max_size}")
+        if pos == n:
+            break  # final literal-only sequence
+        if pos + 2 > n:
+            raise CorruptBlockError("truncated match offset")
+        offset = int.from_bytes(block[pos : pos + 2], "little")
+        pos += 2
+        if offset == 0 or offset > len(out):
+            raise CorruptBlockError(f"invalid match offset {offset}")
+        match_len, pos = _read_length(block, pos, token & 0x0F)
+        match_len += _MIN_MATCH
+        if len(out) + match_len > max_size:
+            raise CorruptBlockError(f"output exceeds max_size={max_size}")
+        src = len(out) - offset
+        if offset >= match_len:
+            out += out[src : src + match_len]
+        else:
+            # overlapping copy: byte-at-a-time replication
+            for k in range(match_len):
+                out.append(out[src + k])
+    return bytes(out)
+
+
+def compression_ratio(data: bytes) -> float:
+    """Achieved ratio ``len(data) / len(compressed)`` (>= values near 1)."""
+    if len(data) == 0:
+        return 1.0
+    return len(data) / len(compress_block(data))

@@ -1,0 +1,69 @@
+"""Block-cipher chaining: CBC mode with PKCS#7 padding.
+
+The paper's kernel is a 256-bit **CBC** AES engine; CBC is inherently
+sequential on encrypt (each block chains the previous ciphertext),
+which is exactly why the hardware kernel — and our model of it — is the
+pipeline's throughput bottleneck.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+
+__all__ = ["pkcs7_pad", "pkcs7_unpad", "cbc_encrypt", "cbc_decrypt", "PaddingError"]
+
+
+class PaddingError(ValueError):
+    """Raised when PKCS#7 padding is malformed on decryption."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding up to a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    pad = block_size - (len(data) % block_size)
+    return bytes(data) + bytes([pad]) * pad
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if len(data) == 0 or len(data) % block_size != 0:
+        raise PaddingError("padded data must be a positive multiple of the block size")
+    pad = data[-1]
+    if not 1 <= pad <= block_size:
+        raise PaddingError(f"invalid padding byte {pad}")
+    if data[-pad:] != bytes([pad]) * pad:
+        raise PaddingError("inconsistent padding bytes")
+    return bytes(data[:-pad])
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encrypt with PKCS#7 padding; returns the ciphertext."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    cipher = AES(key)
+    data = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = bytes(iv)
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(data[i : i + BLOCK_SIZE], prev))
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decrypt and strip PKCS#7 padding; returns the plaintext."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    if len(ciphertext) == 0 or len(ciphertext) % BLOCK_SIZE != 0:
+        raise ValueError("ciphertext must be a positive multiple of the block size")
+    cipher = AES(key)
+    out = bytearray()
+    prev = bytes(iv)
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        plain = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))

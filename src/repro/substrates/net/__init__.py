@@ -1,0 +1,19 @@
+"""Communication-link substrates: stream FIFOs, TCP links, PCIe links.
+
+Parameterised models of the three data-movement elements the paper's
+applications rely on, each exporting a network-calculus service curve
+and a measured-stage view for the pipeline model.
+"""
+
+from .fifo import StreamFifo
+from .tcp import ETH_IP_TCP_OVERHEAD, TcpLink
+from .pcie import PCIE_GT_PER_S, TLP_OVERHEAD_BYTES, PcieLink
+
+__all__ = [
+    "StreamFifo",
+    "ETH_IP_TCP_OVERHEAD",
+    "TcpLink",
+    "PCIE_GT_PER_S",
+    "TLP_OVERHEAD_BYTES",
+    "PcieLink",
+]

@@ -1,0 +1,69 @@
+"""FPGA stream-channel (AXI-Stream-like FIFO) model.
+
+The Vitis kernels of the bump-in-the-wire application pass data through
+stream channels "so data can be passed from one kernel to the next in a
+FIFO".  A hardware stream channel is characterised by its word width,
+clock frequency and depth; this model derives its sustained rate,
+capacity and network-calculus service curve, and converts to both the
+measured-stage (:class:`repro.streaming.Stage`) and simulator
+(:class:`repro.des.SimStage`) representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..._validation import check_positive
+from ...nc import Curve, constant_rate
+from ...streaming import Stage, StageKind
+
+__all__ = ["StreamFifo"]
+
+
+@dataclass(frozen=True)
+class StreamFifo:
+    """A width x depth stream channel clocked at ``clock_hz``.
+
+    One word moves per cycle when neither side stalls, so the sustained
+    rate is ``width_bytes * clock_hz`` and the buffering capacity is
+    ``width_bytes * depth_words``.
+    """
+
+    name: str
+    width_bytes: int
+    depth_words: int
+    clock_hz: float
+
+    def __post_init__(self) -> None:
+        check_positive("width_bytes", self.width_bytes)
+        check_positive("depth_words", self.depth_words)
+        check_positive("clock_hz", self.clock_hz)
+
+    @property
+    def rate(self) -> float:
+        """Sustained throughput in bytes/s (one word per cycle)."""
+        return self.width_bytes * self.clock_hz
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Total buffering the channel provides."""
+        return float(self.width_bytes * self.depth_words)
+
+    @property
+    def fill_latency(self) -> float:
+        """Time to traverse an initially-empty channel (depth cycles)."""
+        return self.depth_words / self.clock_hz
+
+    def service_curve(self) -> Curve:
+        """Constant-rate service curve of the channel."""
+        return constant_rate(self.rate)
+
+    def as_stage(self) -> Stage:
+        """The channel as a measured pipeline stage (for the NC model)."""
+        return Stage.link(
+            self.name,
+            self.rate,
+            latency=self.fill_latency,
+            mtu=float(self.width_bytes),
+            kind=StageKind.MEMORY,
+        )

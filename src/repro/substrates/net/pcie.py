@@ -1,0 +1,81 @@
+"""PCI Express link model (host <-> accelerator data movement).
+
+Both applications move data across PCIe; the model captures the
+performance-relevant mechanics:
+
+* per-lane signalling rate by generation (GT/s) and its line encoding
+  (8b/10b for gen1/2, 128b/130b from gen3 on);
+* TLP framing overhead per max-payload-size packet
+  (~24 header/framing bytes per TLP), which shaves effective bandwidth
+  by ``mps / (mps + overhead)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..._validation import check_non_negative, check_positive
+from ...nc import Curve, rate_latency
+from ...streaming import Stage, StageKind
+
+__all__ = ["PcieLink", "PCIE_GT_PER_S", "TLP_OVERHEAD_BYTES"]
+
+#: Per-lane raw signalling rate in GT/s by PCIe generation.
+PCIE_GT_PER_S: dict[int, float] = {1: 2.5, 2: 5.0, 3: 8.0, 4: 16.0, 5: 32.0}
+
+#: TLP header + framing bytes per packet (3-4 DW header + sequence/LCRC).
+TLP_OVERHEAD_BYTES = 24.0
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A ``gen``-eration x ``lanes`` PCIe link with ``mps``-byte payloads."""
+
+    name: str
+    gen: int
+    lanes: int
+    mps: float = 256.0  # max payload size per TLP
+    latency: float = 0.5e-6  # DMA setup / completion latency
+
+    def __post_init__(self) -> None:
+        if self.gen not in PCIE_GT_PER_S:
+            raise ValueError(f"unknown PCIe generation {self.gen}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+        check_positive("mps", self.mps)
+        check_non_negative("latency", self.latency)
+
+    @property
+    def encoding_efficiency(self) -> float:
+        """Line-coding efficiency: 8b/10b below gen3, 128b/130b after."""
+        return 0.8 if self.gen <= 2 else 128.0 / 130.0
+
+    @property
+    def raw_rate(self) -> float:
+        """Post-encoding raw byte rate of the whole link."""
+        gts = PCIE_GT_PER_S[self.gen] * 1e9
+        return gts * self.encoding_efficiency / 8.0 * self.lanes
+
+    @property
+    def effective_rate(self) -> float:
+        """Payload throughput after TLP framing overhead (bytes/s)."""
+        return self.raw_rate * self.mps / (self.mps + TLP_OVERHEAD_BYTES)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to DMA ``nbytes`` across the link."""
+        check_positive("nbytes", nbytes)
+        return self.latency + nbytes / self.effective_rate
+
+    def service_curve(self) -> Curve:
+        """Rate-latency service curve of the link."""
+        return rate_latency(self.effective_rate, self.latency)
+
+    def as_stage(self) -> Stage:
+        """The link as a measured pipeline stage (for the NC model)."""
+        return Stage.link(
+            self.name,
+            self.effective_rate,
+            latency=self.latency,
+            mtu=self.mps,
+            kind=StageKind.PCIE,
+        )

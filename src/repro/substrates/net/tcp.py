@@ -1,0 +1,87 @@
+"""TCP-over-Ethernet link model (the FPGA TCP + CMAC kernel pair).
+
+The bump-in-the-wire network node is "a demo implementation of a TCP
+stack and CMAC kernels that facilitate network communication between
+two FPGA cards".  The performance-relevant behaviour of such a link:
+
+* the line is rate-limited (e.g. 100 Gb/s CMAC);
+* per-segment protocol overhead (Ethernet + IP + TCP headers) shaves
+  goodput by ``mss / (mss + overhead)``;
+* an un-scaled window caps throughput at ``window / rtt``.
+
+:class:`TcpLink` combines the three into an effective rate, a
+rate-latency service curve (latency = one propagation delay), and the
+conversions into model/simulator stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..._validation import check_non_negative, check_positive
+from ...nc import Curve, rate_latency
+from ...streaming import Stage, StageKind
+
+__all__ = ["TcpLink", "ETH_IP_TCP_OVERHEAD"]
+
+#: Ethernet (14+4) + IPv4 (20) + TCP (20) header bytes per segment,
+#: ignoring options and the inter-frame gap.
+ETH_IP_TCP_OVERHEAD = 58.0
+
+
+@dataclass(frozen=True)
+class TcpLink:
+    """A windowed, segment-based link between two network ports."""
+
+    name: str
+    line_rate: float  # bits on the wire per second / 8 (bytes/s)
+    rtt: float  # round-trip time in seconds
+    window_bytes: float  # advertised/congestion window
+    mss: float = 1460.0  # maximum segment payload
+    overhead_bytes: float = ETH_IP_TCP_OVERHEAD
+
+    def __post_init__(self) -> None:
+        check_positive("line_rate", self.line_rate)
+        check_positive("rtt", self.rtt)
+        check_positive("window_bytes", self.window_bytes)
+        check_positive("mss", self.mss)
+        check_non_negative("overhead_bytes", self.overhead_bytes)
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Payload fraction of each wire segment."""
+        return self.mss / (self.mss + self.overhead_bytes)
+
+    @property
+    def window_limit(self) -> float:
+        """Throughput ceiling imposed by the window: ``window / rtt``."""
+        return self.window_bytes / self.rtt
+
+    @property
+    def effective_rate(self) -> float:
+        """Sustained payload throughput (bytes/s)."""
+        return min(self.line_rate * self.goodput_fraction, self.window_limit)
+
+    @property
+    def latency(self) -> float:
+        """One-way propagation latency (half the RTT)."""
+        return self.rtt / 2.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to deliver ``nbytes`` of payload over the link."""
+        check_positive("nbytes", nbytes)
+        return self.latency + nbytes / self.effective_rate
+
+    def service_curve(self) -> Curve:
+        """Rate-latency service curve of the link."""
+        return rate_latency(self.effective_rate, self.latency)
+
+    def as_stage(self) -> Stage:
+        """The link as a measured pipeline stage (for the NC model)."""
+        return Stage.link(
+            self.name,
+            self.effective_rate,
+            latency=self.latency,
+            mtu=self.mss,
+            kind=StageKind.NETWORK,
+        )

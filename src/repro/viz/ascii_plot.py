@@ -1,0 +1,86 @@
+"""Terminal-friendly line plots for curves and simulation traces.
+
+matplotlib is unavailable in this environment, so figures are emitted
+as (a) CSV series (:mod:`repro.viz.csvout`) for external plotting and
+(b) ASCII renderings for immediate inspection — enough to verify the
+*shape* relations the paper's figures communicate (simulation stair-step
+between the arrival and service curves, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on a shared-axis character grid.
+
+    Each series gets the next marker from ``* o + x ...``; the legend,
+    axis ranges and labels are appended below the grid.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 characters")
+
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if len(xs_all) == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(np.min(xs_all)), float(np.max(xs_all))
+    y_lo, y_hi = float(np.min(ys_all)), float(np.max(ys_all))
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, height - 1 - int(frac * (height - 1))))
+
+    legend: list[str] = []
+    for (name, (xs, ys)), marker in zip(series.items(), _MARKERS):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        # densify by linear interpolation so lines look continuous
+        if len(xs) > 1:
+            dense_x = np.linspace(x_lo, x_hi, width * 2)
+            order = np.argsort(xs)
+            dense_y = np.interp(dense_x, xs[order], ys[order])
+            mask = (dense_x >= xs.min()) & (dense_x <= xs.max())
+            dense_x, dense_y = dense_x[mask], dense_y[mask]
+        else:
+            dense_x, dense_y = xs, ys
+        for x, y in zip(dense_x, dense_y):
+            grid[to_row(float(y))][to_col(float(x))] = marker
+        legend.append(f"  {marker} {name}")
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 2))
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: [{x_lo:.6g}, {x_hi:.6g}] {xlabel}")
+    lines.append(f"y: [{y_lo:.6g}, {y_hi:.6g}] {ylabel}")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""CSV export for figure series (external plotting / archival)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["series_to_csv", "write_series_csv"]
+
+
+def series_to_csv(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]]
+) -> str:
+    """Render named ``(x, y)`` series as long-format CSV text.
+
+    Columns: ``series,x,y`` — one row per point, robust to series of
+    different lengths (unlike wide format).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", "x", "y"])
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        for x, y in zip(xs, ys):
+            writer.writerow([name, repr(float(x)), repr(float(y))])
+    return buf.getvalue()
+
+
+def write_series_csv(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    path: "str | Path",
+) -> Path:
+    """Write :func:`series_to_csv` output to ``path``; returns the path."""
+    p = Path(path)
+    p.write_text(series_to_csv(series))
+    return p

@@ -1,0 +1,176 @@
+"""Data builders for the paper's data-bearing figures (1, 4, 10).
+
+Each builder returns a :class:`FigureData` holding the named series the
+original figure plots; benches render them as ASCII and CSV.  Axis
+units follow the paper: data in MiB (KiB for Fig. 10), time in
+ms (us for Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..apps.blast import blast_analysis, blast_envelope_simulation, blast_pipeline
+from ..apps.bump_in_the_wire import (
+    bitw_analysis,
+    bitw_envelope_simulation,
+    bitw_pipeline,
+)
+from ..streaming import build_model
+from ..nc import Curve, delay_bound, backlog_bound, leaky_bucket, output_arrival_curve, rate_latency, constant_rate
+from ..units import KiB, MiB
+from .ascii_plot import ascii_plot
+from .csvout import write_series_csv
+
+__all__ = ["FigureData", "figure1", "figure4", "figure10"]
+
+
+@dataclass
+class FigureData:
+    """Named series plus annotations for one reproduced figure."""
+
+    name: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+    annotations: dict[str, float] = field(default_factory=dict)
+
+    def ascii(self, width: int = 72, height: int = 20) -> str:
+        """ASCII rendering of all series plus the annotation block."""
+        body = ascii_plot(
+            self.series,
+            width=width,
+            height=height,
+            title=self.title,
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+        if self.annotations:
+            notes = "\n".join(f"  {k} = {v:.6g}" for k, v in self.annotations.items())
+            body += "\nannotations:\n" + notes
+        return body
+
+    def write_csv(self, path: "str | Path") -> Path:
+        """Dump the series in long-format CSV."""
+        return write_series_csv(self.series, path)
+
+
+def _sample_curve(curve: Curve, t_hi: float, n: int = 200) -> tuple[np.ndarray, np.ndarray]:
+    ts = np.linspace(0.0, t_hi, n)
+    return ts, np.asarray(curve(ts))
+
+
+def figure1(
+    rate_alpha: float = 100.0,
+    burst: float = 8.0,
+    rate_beta: float = 150.0,
+    latency: float = 0.05,
+    rate_gamma: float = 220.0,
+) -> FigureData:
+    """Fig. 1: the didactic single node.
+
+    A leaky-bucket arrival curve, a rate-latency service curve, a
+    maximum service curve, and the derived output bound ``alpha*``,
+    annotated with the backlog and virtual-delay bounds the figure marks
+    with vertical/horizontal arrows.
+    """
+    alpha = leaky_bucket(rate_alpha, burst)
+    beta = rate_latency(rate_beta, latency)
+    gamma = constant_rate(rate_gamma)
+    alpha_star = output_arrival_curve(alpha, beta, gamma)
+    t_hi = latency * 4 + burst / rate_beta * 4
+    return FigureData(
+        name="fig1",
+        title="Fig. 1 — leaky-bucket arrival vs rate-latency service",
+        xlabel="time",
+        ylabel="data",
+        series={
+            "alpha": _sample_curve(alpha, t_hi),
+            "beta": _sample_curve(beta, t_hi),
+            "gamma": _sample_curve(gamma, t_hi),
+            "alpha*": _sample_curve(alpha_star, t_hi),
+        },
+        annotations={
+            "virtual_delay_d": delay_bound(alpha, beta),
+            "backlog_x": backlog_bound(alpha, beta),
+            "output_burst": alpha_star.right_limit(0.0),
+        },
+    )
+
+
+def figure4(workload: float = 512 * MiB, seed: int | None = 42) -> FigureData:
+    """Fig. 4: BLAST model curves and the simulated cumulative output.
+
+    ``alpha`` (upper bound on performance), ``beta`` (lower bound),
+    the loose output bound ``alpha*``, and the simulation stair-step
+    that must stay between the bounds.  The simulation is the
+    envelope-saturating validation run (source = the arrival envelope,
+    unbounded queues), as in the paper's figure.  Units: ms vs MiB.
+    """
+    rep = blast_analysis(workload=workload)
+    sim = blast_envelope_simulation(workload=workload, seed=seed)
+    sim_t, sim_c = sim.departures.arrays()
+    t_hi = float(sim_t[-1])
+
+    # the guaranteed-output floor for a job-granular system is the
+    # *packetized* service curve [beta - l_max]^+ (paper SS3): a node may
+    # hold up to one full job/emission before anything departs
+    beta_packetized = build_model(blast_pipeline(), packetized=True).beta_system
+
+    ts = np.linspace(0, t_hi, 300)
+    series = {
+        "alpha(t)": (ts * 1e3, np.asarray(rep.alpha(ts)) / MiB),
+        "beta'(t)": (ts * 1e3, np.asarray(beta_packetized(ts)) / MiB),
+        "simulation": (sim_t * 1e3, sim_c / MiB),
+    }
+    if rep.alpha_star is not None:
+        series["alpha*(t)"] = (ts * 1e3, np.asarray(rep.alpha_star(ts)) / MiB)
+    return FigureData(
+        name="fig4",
+        title="Fig. 4 — BLAST network-calculus model vs simulation",
+        xlabel="ms",
+        ylabel="MiB (input-referred)",
+        series=series,
+        annotations={
+            "delay_bound_ms": rep.delay_bound * 1e3,
+            "backlog_bound_MiB": rep.backlog_bound / MiB,
+            "sim_throughput_MiB_s": sim.steady_state_throughput / MiB,
+        },
+    )
+
+
+def figure10(workload: float = 4 * MiB, seed: int | None = 42) -> FigureData:
+    """Fig. 10: bump-in-the-wire model curves and simulated output.
+
+    The maximum service curve is omitted exactly as in the paper ("it
+    skews the overall graph").  Units: us vs KiB.
+    """
+    rep = bitw_analysis(workload=workload)
+    sim = bitw_envelope_simulation(workload=workload, seed=seed)
+    sim_t, sim_c = sim.departures.arrays()
+    # the paper plots the early transient where the curves are readable
+    t_hi = float(sim_t[-1]) * 0.01
+    mask = sim_t <= t_hi
+    ts = np.linspace(0, t_hi, 300)
+    beta_packetized = build_model(bitw_pipeline(), packetized=True).beta_system
+    return FigureData(
+        name="fig10",
+        title="Fig. 10 — bump-in-the-wire model vs simulation",
+        xlabel="us",
+        ylabel="KiB (input-referred)",
+        series={
+            "alpha(t)": (ts * 1e6, np.asarray(rep.alpha(ts)) / KiB),
+            "beta'(t)": (ts * 1e6, np.asarray(beta_packetized(ts)) / KiB),
+            "simulation": (sim_t[mask] * 1e6, sim_c[mask] / KiB),
+        },
+        annotations={
+            "delay_bound_us": rep.delay_bound * 1e6,
+            "backlog_bound_KiB": rep.backlog_bound / KiB,
+            "sim_throughput_MiB_s": sim.steady_state_throughput / MiB,
+        },
+    )

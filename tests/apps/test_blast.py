@@ -1,0 +1,108 @@
+"""Reproduction tests for the BLAST case study (paper Table 1 / §4.2)."""
+
+import pytest
+
+from repro.apps.blast import (
+    BLAST_PAPER,
+    BLAST_QUEUE_BOUNDS,
+    blast_analysis,
+    blast_pipeline,
+    blast_simulation,
+)
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return blast_analysis()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return blast_simulation(workload=256 * MiB)
+
+
+class TestBlastModel:
+    def test_pipeline_shape(self):
+        p = blast_pipeline()
+        assert p.stage_names() == [
+            "fa2bit",
+            "decompose",
+            "network",
+            "compose",
+            "seed_match",
+            "seed_enum",
+            "small_ext",
+            "ungapped_ext",
+        ]
+
+    def test_throughput_bounds_match_paper(self, analysis):
+        assert analysis.throughput_upper_bound == pytest.approx(
+            BLAST_PAPER.nc_upper_bound, rel=0.01
+        )
+        assert analysis.throughput_lower_bound == pytest.approx(
+            BLAST_PAPER.nc_lower_bound, rel=0.01
+        )
+
+    def test_queueing_prediction_matches_paper(self, analysis):
+        assert analysis.queueing_prediction == pytest.approx(
+            BLAST_PAPER.queueing_prediction, rel=0.01
+        )
+
+    def test_delay_bound_matches_paper(self, analysis):
+        assert analysis.delay_bound == pytest.approx(BLAST_PAPER.delay_bound, rel=0.01)
+
+    def test_backlog_bound_matches_paper(self, analysis):
+        assert analysis.backlog_bound == pytest.approx(
+            BLAST_PAPER.backlog_bound, rel=0.01
+        )
+
+    def test_transient_regime(self, analysis):
+        # R_alpha (704) > R_beta (350): the paper's unstable case
+        assert not analysis.stable
+        assert analysis.transient
+        assert analysis.bottleneck == "ungapped_ext"
+
+    def test_alpha_star_available_with_workload(self, analysis):
+        assert analysis.alpha_star is not None
+
+
+class TestBlastSimulation:
+    def test_throughput_matches_paper(self, sim):
+        assert sim.steady_state_throughput == pytest.approx(
+            BLAST_PAPER.des_throughput, rel=0.02
+        )
+
+    def test_throughput_between_bounds(self, analysis, sim):
+        assert (
+            analysis.throughput_lower_bound
+            <= sim.steady_state_throughput
+            <= analysis.throughput_upper_bound
+        )
+
+    def test_virtual_delays_within_bound_and_near_paper(self, analysis, sim):
+        vd = sim.observed_virtual_delays(skip_initial_fraction=0.15)
+        assert vd.max <= analysis.delay_bound
+        assert vd.max == pytest.approx(BLAST_PAPER.sim_delay_longest, rel=0.10)
+        assert vd.min == pytest.approx(BLAST_PAPER.sim_delay_shortest, rel=0.10)
+
+    def test_backlog_within_bound(self, analysis, sim):
+        assert sim.max_backlog_bytes <= analysis.backlog_bound
+
+    def test_conservation(self, sim):
+        assert sim.conservation_ok()
+
+    def test_bottleneck_is_ungapped_extension(self, sim):
+        assert sim.bottleneck().name == "ungapped_ext"
+        assert sim.bottleneck().utilization > 0.9
+
+    def test_queue_bounds_respected(self, sim):
+        for s in sim.stages:
+            cap = BLAST_QUEUE_BOUNDS[s.name]
+            assert s.max_queue_bytes <= cap * (1 + 1e-9)
+
+    def test_deterministic(self):
+        a = blast_simulation(workload=64 * MiB, seed=7)
+        b = blast_simulation(workload=64 * MiB, seed=7)
+        assert a.makespan == b.makespan
+        assert a.max_backlog_bytes == b.max_backlog_bytes

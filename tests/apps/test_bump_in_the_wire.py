@@ -1,0 +1,128 @@
+"""Reproduction tests for bump-in-the-wire (paper Tables 2-3 / §5)."""
+
+import pytest
+
+from repro.apps.bump_in_the_wire import (
+    BITW_PAPER,
+    LZ4_RATIOS,
+    bitw_analysis,
+    bitw_pipeline,
+    bitw_simulation,
+)
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return bitw_analysis()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return bitw_simulation(workload=4 * MiB)
+
+
+class TestBitwModel:
+    def test_pipeline_shape(self):
+        p = bitw_pipeline()
+        assert p.stage_names() == [
+            "compress",
+            "encrypt",
+            "network",
+            "decrypt",
+            "decompress",
+            "pcie",
+        ]
+
+    def test_table2_normalized_compress_row(self):
+        """Our raw compressor rates reproduce Table 2's normalized row."""
+        ns = bitw_pipeline().normalized()
+        comp = ns[0]
+        # compress touches raw input; Table 2 prints rate x ratio
+        assert comp.rate_avg * 2.2 == pytest.approx(2662 * MiB, rel=0.01)
+        assert comp.rate_min * 1.0 == pytest.approx(1181 * MiB, rel=0.01)
+        assert comp.rate_max * 5.3 == pytest.approx(6386 * MiB, rel=0.01)
+
+    def test_compression_cancels_downstream(self):
+        ns = bitw_pipeline().normalized()
+        pcie = ns[-1]
+        # after decompression the PCIe link is 1:1 input-referred again
+        assert pcie.rate_min == pytest.approx(11 * GiB, rel=1e-6)
+        assert pcie.rate_max == pytest.approx(11 * GiB, rel=1e-6)
+
+    def test_upper_bound_matches_paper(self, analysis):
+        assert analysis.throughput_upper_bound == pytest.approx(
+            BITW_PAPER.nc_upper_bound, rel=0.01
+        )
+
+    def test_lower_bound_near_paper(self, analysis):
+        # ours: encrypt's worst measured rate (56); the paper prints 59 —
+        # a ~5% discrepancy internal to the paper (Table 2 vs Table 3)
+        assert analysis.throughput_lower_bound == pytest.approx(56 * MiB, rel=0.01)
+        assert analysis.throughput_lower_bound == pytest.approx(
+            BITW_PAPER.nc_lower_bound, rel=0.06
+        )
+        assert analysis.bottleneck == "encrypt"
+
+    def test_queueing_prediction_matches_paper(self, analysis):
+        assert analysis.queueing_prediction == pytest.approx(
+            BITW_PAPER.queueing_prediction, rel=0.02
+        )
+
+    def test_delay_bound_matches_paper(self, analysis):
+        assert analysis.delay_bound == pytest.approx(BITW_PAPER.delay_bound, rel=0.01)
+
+    def test_backlog_bound_matches_paper(self, analysis):
+        assert analysis.backlog_bound == pytest.approx(
+            BITW_PAPER.backlog_bound, rel=0.01
+        )
+
+    def test_lz4_ratio_encoding(self):
+        assert LZ4_RATIOS.avg == pytest.approx(1 / 2.2)
+        assert LZ4_RATIOS.best == pytest.approx(1 / 5.3)
+        assert LZ4_RATIOS.worst == 1.0
+
+
+class TestBitwSimulation:
+    def test_throughput_near_paper(self, sim):
+        # the worst-scenario sim lands at the harmonic mean of the AES
+        # kernel's rate extremes; paper printed 61 MiB/s
+        assert sim.steady_state_throughput == pytest.approx(
+            BITW_PAPER.des_throughput, rel=0.07
+        )
+
+    def test_throughput_between_bounds(self, analysis, sim):
+        assert (
+            analysis.throughput_lower_bound
+            <= sim.steady_state_throughput
+            <= analysis.throughput_upper_bound
+        )
+
+    def test_virtual_delays_within_bound(self, analysis, sim):
+        vd = sim.observed_virtual_delays(skip_initial_fraction=0.15)
+        assert vd.max <= analysis.delay_bound
+        assert vd.max == pytest.approx(BITW_PAPER.sim_delay_longest, rel=0.10)
+
+    def test_backlog_within_bound_and_near_paper(self, analysis, sim):
+        assert sim.max_backlog_bytes <= analysis.backlog_bound
+        assert sim.max_backlog_bytes == pytest.approx(
+            BITW_PAPER.sim_backlog, rel=0.30
+        )
+
+    def test_conservation(self, sim):
+        assert sim.conservation_ok()
+
+    def test_best_scenario_faster_than_worst(self):
+        worst = bitw_simulation(workload=2 * MiB, scenario="worst")
+        best = bitw_simulation(workload=2 * MiB, scenario="best")
+        assert best.steady_state_throughput > worst.steady_state_throughput * 2
+
+    def test_avg_scenario_between(self):
+        worst = bitw_simulation(workload=2 * MiB, scenario="worst")
+        avg = bitw_simulation(workload=2 * MiB, scenario="avg")
+        best = bitw_simulation(workload=2 * MiB, scenario="best")
+        assert (
+            worst.steady_state_throughput
+            < avg.steady_state_throughput
+            < best.steady_state_throughput
+        )

@@ -1,0 +1,332 @@
+"""Tests for the DES kernel: events, processes, scheduling, interrupts."""
+
+import math
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+        assert Environment(5.0).now == 5.0
+
+    def test_run_until_time(self):
+        env = Environment()
+        ticks = []
+
+        def clock(env):
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(clock(env))
+        env.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_raises(self):
+        env = Environment(10.0)
+        with pytest.raises(ValueError, match="past"):
+            env.run(until=5.0)
+
+    def test_run_drains(self):
+        env = Environment()
+
+        def once(env):
+            yield env.timeout(2.0)
+
+        env.process(once(env))
+        env.run()
+        assert env.now == 2.0
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(worker(env))
+        assert env.run(until=p) == "done"
+
+    def test_run_until_event_starvation(self):
+        env = Environment()
+        ev = env.event()  # never triggered
+        with pytest.raises(SimulationError, match="ran out of events"):
+            env.run(until=ev)
+
+    def test_peek_and_step(self):
+        env = Environment()
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+        env.step()
+        assert env.now == 4.0
+        assert env.peek() == math.inf
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_simultaneous_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_succeed_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(99)
+        got = []
+
+        def waiter(env):
+            got.append((yield ev))
+
+        env.process(waiter(env))
+        env.run()
+        assert got == [99]
+        assert ev.ok and ev.value == 99 and ev.processed
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_failed_event_raises_in_waiter(self):
+        env = Environment()
+        ev = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_crashes_run(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("unhandled")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Environment().timeout(-1.0)
+
+    def test_timeout_value(self):
+        env = Environment()
+        out = []
+
+        def w(env):
+            out.append((yield env.timeout(1.0, value="tick")))
+
+        env.process(w(env))
+        env.run()
+        assert out == ["tick"]
+
+
+class TestProcesses:
+    def test_yield_process_waits_for_it(self):
+        env = Environment()
+        trace = []
+
+        def child(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            trace.append((env.now, value))
+
+        env.process(parent(env))
+        env.run()
+        assert trace == [(2.0, "result")]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_interrupt(self):
+        env = Environment()
+        trace = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as exc:
+                trace.append((env.now, exc.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert trace == [(1.0, "wake up")]
+
+    def test_interrupt_terminated_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.1)
+
+        p = env.process(quick(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_already_processed_event_continues_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("v")
+        env.run()  # process the event fully
+        got = []
+
+        def w(env):
+            got.append((yield ev))
+
+        env.process(w(env))
+        env.run()
+        assert got == ["v"]
+
+
+class TestConditions:
+    def test_all_of(self):
+        env = Environment()
+        out = []
+
+        def w(env):
+            t1, t2 = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+            res = yield AllOf(env, [t1, t2])
+            out.append((env.now, sorted(res.values())))
+
+        env.process(w(env))
+        env.run()
+        assert out == [(3.0, ["a", "b"])]
+
+    def test_any_of(self):
+        env = Environment()
+        out = []
+
+        def w(env):
+            t1, t2 = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+            res = yield AnyOf(env, [t1, t2])
+            out.append((env.now, list(res.values())))
+
+        env.process(w(env))
+        env.run()
+        assert out == [(1.0, ["a"])]
+
+    def test_operator_sugar(self):
+        env = Environment()
+        out = []
+
+        def w(env):
+            res = yield env.timeout(1.0, "a") | env.timeout(2.0, "b")
+            out.append(env.now)
+            yield env.timeout(0.0) & env.timeout(5.0)
+            out.append(env.now)
+
+        env.process(w(env))
+        env.run()
+        assert out == [1.0, 6.0]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        out = []
+
+        def w(env):
+            res = yield AllOf(env, [])
+            out.append((env.now, res))
+
+        env.process(w(env))
+        env.run()
+        assert out == [(0.0, {})]
+
+    def test_failed_constituent_fails_condition(self):
+        env = Environment()
+        ev = env.event()
+        caught = []
+
+        def w(env):
+            try:
+                yield AllOf(env, [env.timeout(1.0), ev])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(w(env))
+        ev.fail(RuntimeError("constituent"))
+        env.run()
+        assert caught == ["constituent"]
+
+    def test_mixed_environment_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AllOf(env1, [env1.timeout(1.0), env2.timeout(1.0)])

@@ -1,0 +1,217 @@
+"""Tests for Store / Container / Resource semantics."""
+
+import pytest
+
+from repro.des import Container, Environment, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1.0)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append((env.now, item))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert [i for _, i in got] == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("a")
+            times.append(env.now)
+            yield store.put("b")  # blocks until consumer takes "a"
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 3.0]
+
+    def test_len_and_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+        s = Store(env)
+        s.put("x")
+        env.run()
+        assert len(s) == 1
+
+
+class TestContainer:
+    def test_level_tracking(self):
+        env = Environment()
+        c = Container(env, capacity=10.0, init=4.0)
+        assert c.level == 4.0
+
+        def w(env):
+            yield c.put(3.0)
+            assert c.level == 7.0
+            yield c.get(5.0)
+            assert c.level == 2.0
+
+        env.process(w(env))
+        env.run()
+
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        c = Container(env, capacity=100.0)
+        times = []
+
+        def consumer(env):
+            yield c.get(10.0)
+            times.append(env.now)
+
+        def producer(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+                yield c.put(2.5)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [4.0]  # 4 puts of 2.5 reach 10
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=5.0, init=4.0)
+        times = []
+
+        def producer(env):
+            yield c.put(3.0)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(2.0)
+            yield c.get(4.0)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [2.0]
+
+    def test_oversized_put_rejected(self):
+        env = Environment()
+        c = Container(env, capacity=5.0)
+        with pytest.raises(ValueError):
+            c.put(6.0)
+        with pytest.raises(ValueError):
+            c.put(0.0)
+        with pytest.raises(ValueError):
+            c.get(-1.0)
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=0.0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=1.0, init=2.0)
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        spans = []
+
+        def user(env, tag):
+            with res.request() as req:
+                yield req
+                start = env.now
+                yield env.timeout(2.0)
+                spans.append((tag, start, env.now))
+
+        for tag in "ab":
+            env.process(user(env, tag))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+    def test_capacity_two(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        spans = []
+
+        def user(env, tag):
+            with res.request() as req:
+                yield req
+                spans.append((tag, env.now))
+                yield env.timeout(1.0)
+
+        for tag in "abc":
+            env.process(user(env, tag))
+        env.run()
+        assert spans == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_count_and_release_idempotent(self):
+        env = Environment()
+        res = Resource(env)
+
+        def w(env):
+            req = res.request()
+            yield req
+            assert res.count == 1
+            res.release(req)
+            res.release(req)  # idempotent
+            assert res.count == 0
+
+        env.process(w(env))
+        env.run()
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1.0)
+            res.release(req)  # cancels the queued request
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.run()
+        assert res.count == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)

@@ -1,0 +1,119 @@
+"""Cross-validation: NC bounds vs DES observations on varied pipelines.
+
+The library's central claim (and the paper's): for any measured
+pipeline, the simulated behaviour stays within the network-calculus
+bounds.  These tests sweep randomized-but-seeded pipeline shapes and
+check every invariant jointly — the strongest whole-system test we
+have.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    Pipeline,
+    Source,
+    Stage,
+    VolumeRatio,
+    analyze,
+    build_model,
+    simulate,
+)
+from repro.units import KiB, MiB
+
+
+def _random_stable_pipeline(seed: int) -> Pipeline:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    stages = []
+    min_rates = []
+    for i in range(n):
+        base = float(rng.uniform(120, 800)) * MiB
+        spread = float(rng.uniform(1.05, 1.5))
+        job = float(rng.choice([256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB]))
+        stages.append(
+            Stage(
+                f"s{i}",
+                avg_rate=base,
+                min_rate=base / spread,
+                max_rate=base * spread,
+                latency=float(rng.uniform(1e-4, 3e-3)),
+                job_bytes=job,
+            )
+        )
+        min_rates.append(base / spread)
+    source_rate = 0.8 * min(min_rates)
+    source = Source(rate=source_rate, burst=float(rng.uniform(0, 4)) * MiB,
+                    packet_bytes=128 * KiB)
+    return Pipeline(f"rand{seed}", source, stages)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_simulation_within_bounds(seed):
+    from repro.nc import backlog_bound, delay_bound
+
+    pipe = _random_stable_pipeline(seed)
+    # the theoretically valid floor for a job-granular, smoothly-fed
+    # system: per-node packetized curves convolved, with conservative
+    # aggregation for the recursion-based headline numbers
+    rep = analyze(pipe, packetized=True, conservative_aggregation=True)
+    assert rep.stable
+    model = rep.model
+    beta_valid = model.beta_convolved.minimum(model.beta_system)
+    d_bound = delay_bound(model.alpha, beta_valid)
+    x_bound = backlog_bound(model.alpha, beta_valid)
+
+    sim = simulate(pipe, workload=48 * MiB, seed=seed)
+    assert sim.conservation_ok()
+    vd = sim.observed_virtual_delays()
+    assert vd.max <= d_bound * 1.001, (
+        f"seed {seed}: observed {vd.max} > bound {d_bound}"
+    )
+    assert sim.max_backlog_bytes <= x_bound * 1.001
+    # the envelope statement is cumulative: output can never exceed what
+    # the arrival curve admits (a rate comparison over a short window
+    # would be confounded by the initial burst)
+    assert sim.output_bytes <= rep.alpha(sim.makespan) * 1.001
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_packetized_beta_floors_output(seed):
+    """The packetized system curve is a valid output floor under an
+    envelope-saturating source (the figure-bench property, generalised)."""
+    pipe = _random_stable_pipeline(seed)
+    # saturate: source at exactly the guaranteed rate with a large burst
+    model = build_model(pipe, packetized=True, conservative_aggregation=True)
+    sat = pipe.with_source(
+        Source(rate=model.bottleneck_rate, burst=16 * MiB, packet_bytes=128 * KiB)
+    )
+    model = build_model(sat, packetized=True, conservative_aggregation=True)
+    sim = simulate(sat, workload=48 * MiB, seed=seed)
+    t, c = sim.departures.arrays()
+    floor = np.asarray(model.beta_system(t))
+    assert np.all(c >= floor - 1e-6), f"seed {seed}"
+
+
+@pytest.mark.parametrize("scenario", ["worst", "avg", "best"])
+def test_scenario_consistency_with_compression(scenario):
+    """Fixed-scenario simulations stay within the cross-scenario bounds."""
+    vr = VolumeRatio.from_compression(2.0, 1.0, 4.0)
+    pipe = Pipeline(
+        "comp",
+        Source(rate=40 * MiB, burst=256 * KiB, packet_bytes=64 * KiB),
+        [
+            Stage("pack", avg_rate=500 * MiB, min_rate=450 * MiB, max_rate=560 * MiB,
+                  latency=1e-4, job_bytes=256 * KiB, volume_ratio=vr),
+            Stage("cipher", avg_rate=60 * MiB, min_rate=50 * MiB, max_rate=70 * MiB,
+                  latency=1e-4, job_bytes=64 * KiB),
+            Stage("unpack", avg_rate=600 * MiB, min_rate=550 * MiB, max_rate=660 * MiB,
+                  latency=1e-4, job_bytes=64 * KiB, volume_ratio=vr.inverse()),
+        ],
+    )
+    rep = analyze(pipe, packetized=False, conservative_aggregation=True)
+    sim = simulate(pipe, workload=16 * MiB, seed=1, scenario=scenario)
+    assert sim.conservation_ok()
+    # cumulative envelope statement (see test_simulation_within_bounds)
+    assert sim.output_bytes <= rep.alpha(sim.makespan) * 1.001
+    if scenario == "worst":
+        vd = sim.observed_virtual_delays()
+        assert vd.max <= rep.delay_bound * 1.001

@@ -1,0 +1,32 @@
+"""Every example script must run clean — they are living documentation."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    # examples guard with `if __name__ == "__main__"`; run them as main
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_examples_present():
+    names = {p.stem for p in _EXAMPLES}
+    assert {
+        "quickstart",
+        "blast_study",
+        "bump_in_the_wire_study",
+        "buffer_sizing",
+        "custom_pipeline",
+        "design_space",
+        "shared_platform",
+    } <= names

@@ -1,0 +1,79 @@
+"""The paper's subset-analysis claim, exercised on the real BLAST model.
+
+§4.2: "Further capabilities of the network calculus models include the
+ability to analyze any desired subset of the streaming application
+separate from the rest of the application."  These tests verify the
+claim's internal consistency on the calibrated BLAST tandem: subset
+bounds compose, pay-bursts-only-once holds, and per-node backlogs sum
+to no less than the whole-system bound's information.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.blast import blast_pipeline
+from repro.streaming import Source, build_model
+
+
+def _stable_model():
+    # shape the source below the bottleneck so every tandem operation is
+    # in the finite (stable) regime
+    pipe = blast_pipeline()
+    pipe = pipe.with_source(Source(rate=300 * 2**20, burst=4 * 2**20, packet_bytes=65536))
+    return build_model(pipe, packetized=False)
+
+
+@pytest.fixture(scope="module")
+def tandem():
+    return _stable_model().tandem()
+
+
+class TestSubsetAnalysis:
+    def test_full_chain_matches_end_to_end(self, tandem):
+        n = len(tandem.nodes)
+        assert tandem.subset_delay_bound(0, n) == pytest.approx(
+            tandem.end_to_end_delay_bound()
+        )
+        assert tandem.subset_backlog_bound(0, n) == pytest.approx(
+            tandem.end_to_end_backlog_bound()
+        )
+
+    def test_every_contiguous_subset_finite(self, tandem):
+        n = len(tandem.nodes)
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                d = tandem.subset_delay_bound(i, j)
+                x = tandem.subset_backlog_bound(i, j)
+                assert math.isfinite(d) and d >= 0, (i, j)
+                assert math.isfinite(x) and x >= 0, (i, j)
+
+    def test_pay_bursts_only_once(self, tandem):
+        e2e = tandem.end_to_end_delay_bound()
+        summed = tandem.sum_of_per_node_delay_bounds()
+        assert e2e <= summed + 1e-12
+        # the phenomenon is strict for this chain (many nodes, one burst)
+        assert e2e < summed
+
+    def test_subset_split_dominates_whole(self, tandem):
+        """Splitting the chain and adding the halves' bounds can only be
+        looser than analyzing the whole (bursts paid twice)."""
+        n = len(tandem.nodes)
+        whole = tandem.end_to_end_delay_bound()
+        for cut in range(1, n):
+            halves = tandem.subset_delay_bound(0, cut) + tandem.subset_delay_bound(cut, n)
+            assert whole <= halves + 1e-12, f"cut at {cut}"
+
+    def test_per_node_backlogs_identify_buffer_hotspots(self, tandem):
+        xs = tandem.per_node_backlog_bounds()
+        names = [node.name for node in tandem.nodes]
+        by_name = dict(zip(names, xs))
+        assert all(math.isfinite(x) for x in xs)
+        # the slowest stage accumulates the most: the hotspot is the
+        # ungapped-extension bottleneck (with the front node a close
+        # second, absorbing the source burst)
+        assert max(by_name, key=by_name.get) == "ungapped_ext"
+
+    def test_output_envelope_rate_is_source_rate(self, tandem):
+        out = tandem.output_envelope()
+        assert out.final_slope == pytest.approx(300 * 2**20)

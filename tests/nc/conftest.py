@@ -1,0 +1,113 @@
+"""Shared strategies and brute-force oracles for the network-calculus tests.
+
+The oracles evaluate min-plus operators by enumerating the *critical*
+split points (curve breakpoints, their images, and tiny offsets into the
+open segments).  For piecewise-linear curves the extrema of
+``f(s) + g(t-s)`` over ``s`` are attained (or approached) at exactly
+those candidates, so the oracle is exact up to the offset epsilon.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.nc import Curve
+
+_EPS_T = 1e-6   # offsets used to probe just inside open segments (test grid)
+_EPS = 1e-9     # split/lag candidate offsets inside the oracles (must be << _EPS_T)
+
+# small grid of well-behaved floats for curve geometry (multiples of 1/8
+# keep float arithmetic exact through sums/differences)
+_coords = st.integers(min_value=0, max_value=40).map(lambda k: k / 8.0)
+_slopes = st.integers(min_value=0, max_value=32).map(lambda k: k / 4.0)
+_jumps = st.integers(min_value=0, max_value=16).map(lambda k: k / 8.0)
+
+
+@st.composite
+def nondecreasing_curves(draw, max_breakpoints: int = 4) -> Curve:
+    """Random wide-sense-increasing PWL curve with jumps (class F)."""
+    n = draw(st.integers(min_value=1, max_value=max_breakpoints))
+    xs = sorted(draw(st.sets(_coords.filter(lambda v: v > 0), min_size=n - 1, max_size=n - 1)))
+    bx = [0.0] + list(xs)
+    y0 = draw(_jumps)
+    by, sy, sl = [], [], []
+    level = y0
+    for i in range(n):
+        by.append(level)
+        level += draw(_jumps)  # jump at the breakpoint (f(x) <= f(x+))
+        sy.append(level)
+        slope = draw(_slopes)
+        sl.append(slope)
+        if i + 1 < n:
+            level += slope * (bx[i + 1] - bx[i])
+    return Curve(bx, by, sy, sl)
+
+
+def critical_times(f: Curve, g: Curve, extra: int = 5) -> np.ndarray:
+    """Abscissae where operator results can kink: pairwise breakpoint sums
+    and differences, plus offsets into the open segments and a coarse grid."""
+    pts = {0.0}
+    for x1 in f.bx:
+        for x2 in g.bx:
+            for v in (x1 + x2, x1 - x2, x2 - x1, x1, x2):
+                if v >= 0 and math.isfinite(v):
+                    pts.add(float(v))
+    out = set()
+    for p in pts:
+        out.add(p)
+        out.add(p + _EPS_T)
+        if p - _EPS_T >= 0:
+            out.add(p - _EPS_T)
+    hi = max(out) + 2.0
+    for k in range(extra):
+        out.add(hi * (k + 1) / extra)
+    return np.array(sorted(out))
+
+
+def _split_candidates(f: Curve, g: Curve, t: float) -> np.ndarray:
+    cands = {0.0, t, t / 2.0}
+    for x in f.bx:
+        for v in (x, x + _EPS, x - _EPS):
+            if 0.0 <= v <= t:
+                cands.add(float(v))
+    for x in g.bx:
+        for v in (t - x, t - x + _EPS, t - x - _EPS):
+            if 0.0 <= v <= t:
+                cands.add(float(v))
+    return np.array(sorted(cands))
+
+
+def brute_convolve(f: Curve, g: Curve, t: float) -> float:
+    """Oracle for ``(f (*) g)(t)`` via critical split points."""
+    s = _split_candidates(f, g, t)
+    return float(np.min(f(s) + g(t - s)))
+
+
+def brute_deconvolve(f: Curve, g: Curve, t: float) -> float:
+    """Oracle for ``(f (/) g)(t)`` via critical lag points."""
+    cands = {0.0}
+    for x in g.bx:
+        for v in (x, x + _EPS, x - _EPS):
+            if v >= 0:
+                cands.add(float(v))
+    for x in f.bx:
+        for v in (x - t, x - t + _EPS, x - t - _EPS):
+            if v >= 0:
+                cands.add(float(v))
+    # far tail: needed when both final slopes are equal
+    far = max(float(f.bx[-1]), float(g.bx[-1])) + t + 1.0
+    cands.update({far, far * 4.0})
+    u = np.array(sorted(cands))
+    return float(np.max(f(t + u) - g(u)))
+
+
+def assert_curves_match_on(f_exact, oracle, ts, tol: float = 1e-5) -> None:
+    """Compare an exact curve against an oracle on the given abscissae."""
+    for t in ts:
+        want = oracle(float(t))
+        got = f_exact(float(t))
+        scale = max(1.0, abs(want))
+        assert abs(got - want) <= tol * scale, (t, got, want)

@@ -1,0 +1,174 @@
+"""Tests for backlog/delay/output bounds and pseudo-inverses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.nc import (
+    Curve,
+    UnboundedCurveError,
+    affine_backlog_bound,
+    affine_delay_bound,
+    backlog_bound,
+    constant_rate,
+    delay_bound,
+    horizontal_deviation,
+    leaky_bucket,
+    output_arrival_curve,
+    pseudo_inverse,
+    rate_latency,
+    vertical_deviation,
+)
+from .conftest import nondecreasing_curves
+
+_settings = settings(max_examples=50, deadline=None)
+
+
+class TestPseudoInverse:
+    def test_constant_rate(self):
+        f = constant_rate(4.0)
+        assert pseudo_inverse(f, 8.0) == 2.0
+        assert pseudo_inverse(f, 0.0) == 0.0
+
+    def test_jump_level(self):
+        lb = leaky_bucket(10.0, 4.0)
+        # levels within the burst are reached immediately after 0
+        assert pseudo_inverse(lb, 3.0) == 0.0
+        assert pseudo_inverse(lb, 4.0) == 0.0
+        assert pseudo_inverse(lb, 14.0) == pytest.approx(1.0)
+
+    def test_flat_curve_unreachable(self):
+        f = leaky_bucket(0.0, 5.0)
+        assert pseudo_inverse(f, 5.0) == 0.0
+        assert pseudo_inverse(f, 5.1) == math.inf
+
+    def test_latency_region(self):
+        b = rate_latency(2.0, 1.0)
+        assert pseudo_inverse(b, 0.0) == 0.0
+        assert pseudo_inverse(b, 1.0) == 1.5
+
+    def test_mid_jump(self):
+        # jump from 1 to 3 at t=2: level 2 is reached AT t=2 (right-limit)
+        f = Curve([0.0, 2.0], [0.0, 3.0], [0.0, 3.0], [0.5, 1.0])
+        assert pseudo_inverse(f, 2.0) == 2.0
+        assert pseudo_inverse(f, 3.0) == 2.0
+        assert pseudo_inverse(f, 3.5) == 2.5
+
+
+class TestDeviations:
+    def test_leaky_vs_rate_latency_closed_form(self):
+        a = leaky_bucket(100.0, 8.0)
+        b = rate_latency(150.0, 0.01)
+        assert vertical_deviation(a, b) == pytest.approx(8.0 + 100.0 * 0.01)
+        assert horizontal_deviation(a, b) == pytest.approx(0.01 + 8.0 / 150.0)
+
+    def test_unstable_gives_inf(self):
+        a = leaky_bucket(200.0, 1.0)
+        b = rate_latency(100.0, 0.01)
+        assert vertical_deviation(a, b) == math.inf
+        assert horizontal_deviation(a, b) == math.inf
+
+    def test_equal_rates_finite(self):
+        a = leaky_bucket(100.0, 8.0)
+        b = rate_latency(100.0, 0.02)
+        assert horizontal_deviation(a, b) == pytest.approx(0.02 + 8.0 / 100.0)
+        assert vertical_deviation(a, b) == pytest.approx(8.0 + 100.0 * 0.02)
+
+    def test_bounded_flow_vs_bounded_service(self):
+        a = leaky_bucket(0.0, 5.0)
+        b_ok = Curve([0.0, 1.0], [0.0, 0.0], [0.0, 0.0], [0.0, 5.0])  # reaches 5 at t=2
+        assert horizontal_deviation(a, b_ok) == pytest.approx(2.0)
+        # service saturates below the flow volume -> never catches up
+        b_bad = leaky_bucket(0.0, 4.0)
+        assert horizontal_deviation(a, b_bad) == math.inf
+
+    def test_horizon_limited_deviation(self):
+        a = leaky_bucket(200.0, 1.0)
+        b = constant_rate(100.0)
+        assert vertical_deviation(a, b, t_max=0.5) == pytest.approx(1.0 + 100.0 * 0.5)
+
+    def test_hdev_of_curve_with_itself_is_zero(self):
+        b = rate_latency(5.0, 0.3)
+        assert horizontal_deviation(b, b) == 0.0
+
+    def test_hdev_flat_segments(self):
+        # staircase flow against a slow server: delay dominated by last step
+        from repro.nc import staircase
+
+        a = staircase(1.0, 1.0, n_steps=4)
+        b = constant_rate(0.5)
+        # level y in (k, k+1] arrives at t=k, served at 2y
+        # worst at y -> k+1 (right after arrival k): d = 2(k+1) - k = k+2, grows
+        # with k until the affine tail (rate 1 > 0.5) makes it infinite
+        assert horizontal_deviation(a, b) == math.inf
+        b2 = constant_rate(2.0)
+        # served at y/2, arrives at k (y in (k, k+1]): d = (k+1)/2 - k <= 1/2
+        assert horizontal_deviation(a, b2) == pytest.approx(0.5)
+
+
+class TestBounds:
+    def test_backlog_and_delay_wrappers(self):
+        a = leaky_bucket(10.0, 2.0)
+        b = rate_latency(20.0, 0.1)
+        assert backlog_bound(a, b) == pytest.approx(affine_backlog_bound(10, 2, 20, 0.1))
+        assert delay_bound(a, b) == pytest.approx(affine_delay_bound(10, 2, 20, 0.1))
+
+    def test_affine_closed_forms_unstable(self):
+        assert affine_delay_bound(30, 1, 20, 0.1) == math.inf
+        assert affine_backlog_bound(30, 1, 20, 0.1) == math.inf
+        assert affine_delay_bound(10, 1, 0.0, 0.1) == math.inf
+
+    def test_affine_validation(self):
+        with pytest.raises(ValueError):
+            affine_delay_bound(-1, 1, 2, 0.1)
+        with pytest.raises(ValueError):
+            affine_backlog_bound(1, -1, 2, 0.1)
+
+    def test_backlog_never_negative(self):
+        # service far above arrivals
+        a = leaky_bucket(1.0, 0.0)
+        b = constant_rate(100.0)
+        assert backlog_bound(a, b) == 0.0
+
+
+class TestOutputArrivalCurve:
+    def test_classical_form(self):
+        a = leaky_bucket(10.0, 2.0)
+        b = rate_latency(20.0, 0.1)
+        o = output_arrival_curve(a, b)
+        assert o.right_limit(0.0) == pytest.approx(2.0 + 10.0 * 0.1)
+        assert o.final_slope == pytest.approx(10.0)
+
+    def test_max_service_curve_tightens(self):
+        a = leaky_bucket(10.0, 2.0)
+        b = rate_latency(20.0, 0.1)
+        g = constant_rate(12.0)  # best case barely above sustained rate
+        o_plain = output_arrival_curve(a, b)
+        o_refined = output_arrival_curve(a, b, gamma=g)
+        assert o_refined.right_limit(0.0) <= o_plain.right_limit(0.0)
+        # the refined burst cannot exceed what gamma lets through
+        assert o_refined.right_limit(0.0) < 2.0 + 10.0 * 0.1
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnboundedCurveError):
+            output_arrival_curve(leaky_bucket(30.0, 1.0), rate_latency(20.0, 0.1))
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_hdev_definition_on_samples(f, g):
+    """h(f,g) satisfies f(t) <= g(t + h) at sampled t (definition check)."""
+    h = horizontal_deviation(f, g)
+    if math.isinf(h):
+        return
+    for t in [0.0, 0.1, 0.5, 1.0, 2.5, 5.0]:
+        # tiny slack for the non-attained-supremum edge
+        assert f(t) <= g(t + h + 1e-9) + 1e-9 * max(1.0, abs(f(t)))
+
+
+@_settings
+@given(nondecreasing_curves())
+def test_deviations_of_self_are_zero(f):
+    assert vertical_deviation(f, f) == 0.0
+    assert horizontal_deviation(f, f) == 0.0

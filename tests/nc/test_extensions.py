@@ -1,0 +1,200 @@
+"""Tests for pseudo-inverses, shapers, variable-rate arrivals, what-if."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.nc import (
+    Curve,
+    GreedyShaper,
+    UnboundedCurveError,
+    constant_rate,
+    leaky_bucket,
+    lower_pseudo_inverse,
+    rate_latency,
+    upper_pseudo_inverse,
+    variable_rate_arrival,
+)
+from repro.nc.bounds import pseudo_inverse
+from .conftest import nondecreasing_curves
+
+
+class TestPseudoInverseCurves:
+    def test_matches_scalar_pseudo_inverse(self):
+        f = leaky_bucket(10.0, 4.0)
+        inv = lower_pseudo_inverse(f)
+        for y in [0.0, 1.0, 4.0, 10.0, 40.0]:
+            assert inv(y) == pytest.approx(pseudo_inverse(f, y))
+
+    def test_rate_latency_flat_start(self):
+        f = rate_latency(5.0, 2.0)
+        lo, hi = lower_pseudo_inverse(f), upper_pseudo_inverse(f)
+        assert lo(0.0) == 0.0
+        assert hi(0.0) == 2.0  # f stays 0 until T
+        assert lo(5.0) == pytest.approx(3.0)
+        assert hi(5.0) == pytest.approx(3.0)
+
+    def test_interior_flat(self):
+        f = Curve.from_breakpoints([0.0, 2.0, 4.0], [0.0, 5.0, 5.0], 2.0)
+        assert lower_pseudo_inverse(f)(5.0) == 2.0
+        assert upper_pseudo_inverse(f)(5.0) == 4.0
+
+    def test_jump_becomes_flat(self):
+        f = leaky_bucket(10.0, 4.0)  # jump of 4 at t=0
+        inv = lower_pseudo_inverse(f)
+        assert inv(1.0) == 0.0
+        assert inv(3.999) == 0.0
+
+    def test_saturating_curve_rejected(self):
+        with pytest.raises(UnboundedCurveError):
+            lower_pseudo_inverse(leaky_bucket(0.0, 5.0))
+        with pytest.raises(UnboundedCurveError):
+            upper_pseudo_inverse(leaky_bucket(0.0, 5.0))
+
+    def test_non_monotone_rejected(self):
+        f = Curve([0.0], [0.0], [0.0], [-1.0])
+        with pytest.raises(ValueError):
+            lower_pseudo_inverse(f)
+
+    @settings(max_examples=40, deadline=None)
+    @given(nondecreasing_curves())
+    def test_galois_inequalities(self, f):
+        """f^-1(f(t)) <= t and f(f^-1(y)+eps) >= y on samples."""
+        if f.final_slope <= 0:
+            return
+        inv = lower_pseudo_inverse(f)
+        for t in [0.0, 0.25, 1.0, 2.5, 6.0]:
+            y = f(t)
+            assert inv(y) <= t + 1e-9
+        sup = f.sup(10.0)
+        for y in np.linspace(0.0, max(sup, 1e-9), 7):
+            t = inv(float(y))
+            assert f(t + 1e-7) >= y - 1e-6 * max(1.0, y)
+
+    @settings(max_examples=40, deadline=None)
+    @given(nondecreasing_curves())
+    def test_lower_below_upper(self, f):
+        if f.final_slope <= 0:
+            return
+        lo = lower_pseudo_inverse(f)
+        hi = upper_pseudo_inverse(f)
+        ys = np.linspace(0.0, float(f(10.0)) + 1.0, 25)
+        assert np.all(np.asarray(lo(ys)) <= np.asarray(hi(ys)) + 1e-9)
+
+
+class TestVariableRateArrival:
+    def test_single_phase_is_constant_rate(self):
+        a = variable_rate_arrival([(1.0, 50.0)])
+        assert a == constant_rate(50.0)
+
+    def test_slow_then_fast_envelope_uses_fast_window(self):
+        a = variable_rate_arrival([(1.0, 10.0), (0.0, 100.0)])
+        # the best window of width w < anything is in the fast phase
+        assert a(0.5) == pytest.approx(50.0)
+        assert a.final_slope == pytest.approx(100.0)
+
+    def test_fast_then_slow_keeps_front_burstiness(self):
+        a = variable_rate_arrival([(1.0, 100.0), (0.0, 10.0)])
+        assert a(1.0) == pytest.approx(100.0)
+        assert a(2.0) == pytest.approx(110.0)
+        assert a.final_slope == pytest.approx(10.0)
+
+    def test_subadditive(self):
+        from repro.nc import is_subadditive
+
+        a = variable_rate_arrival([(0.5, 40.0), (1.0, 5.0), (0.0, 20.0)])
+        assert is_subadditive(a)
+
+    def test_burst_added(self):
+        a = variable_rate_arrival([(1.0, 10.0)], burst=3.0)
+        assert a(0.0) == 0.0
+        assert a.right_limit(0.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variable_rate_arrival([])
+        with pytest.raises(ValueError):
+            variable_rate_arrival([(0.0, 1.0), (0.0, 2.0)])
+
+
+class TestGreedyShaper:
+    def test_output_is_sigma_constrained(self):
+        sigma = leaky_bucket(50.0, 2.0)
+        shaper = GreedyShaper(sigma)
+        out = shaper.output_envelope(leaky_bucket(100.0, 10.0))
+        ts = np.linspace(0, 2, 21)
+        assert np.all(np.asarray(out(ts)) <= np.asarray(sigma(ts)) + 1e-9)
+
+    def test_shaping_a_conforming_flow_is_free(self):
+        sigma = leaky_bucket(50.0, 8.0)
+        shaper = GreedyShaper(sigma)
+        alpha = leaky_bucket(30.0, 2.0)  # already conforms
+        assert shaper.output_envelope(alpha).almost_equal(alpha)
+        assert shaper.delay_bound(alpha) == 0.0
+        assert shaper.backlog_bound(alpha) == 0.0
+
+    def test_bounds_for_bursty_input(self):
+        sigma = leaky_bucket(50.0, 2.0)
+        shaper = GreedyShaper(sigma)
+        alpha = leaky_bucket(40.0, 10.0)
+        # burst excess must be buffered and drained at the sigma rate
+        assert shaper.backlog_bound(alpha) == pytest.approx(8.0)
+        assert math.isfinite(shaper.delay_bound(alpha))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GreedyShaper(Curve.constant(5.0))
+        with pytest.raises(ValueError, match="nondecreasing"):
+            GreedyShaper(Curve([0.0], [0.0], [0.0], [-1.0]))
+
+
+class TestWhatIf:
+    def _pipe(self):
+        from repro.streaming import Pipeline, Source, Stage
+        from repro.units import MiB
+
+        return Pipeline(
+            "w",
+            Source(rate=500 * MiB, burst=1 * MiB, packet_bytes=64 * 1024),
+            [
+                Stage("a", avg_rate=300 * MiB, min_rate=250 * MiB, latency=1e-3),
+                Stage("b", avg_rate=200 * MiB, min_rate=150 * MiB, latency=1e-3),
+            ],
+        )
+
+    def test_upgrade_improves_bounds(self):
+        from repro.streaming import compare, upgrade_stage
+
+        base = self._pipe()
+        rep = compare(base, upgrade_stage(base, "b", 2.0), packetized=False)
+        assert rep.throughput_gain > 0
+        assert rep.delay_change < 0
+        assert rep.moved_bottleneck  # b (150) * 2 = 300 > a (250)
+        assert "what-if" in rep.summary()
+
+    def test_downgrade(self):
+        from repro.streaming import downgrade_stage
+
+        p = downgrade_stage(self._pipe(), "a", 2.0)
+        assert p.stages[0].rate_min == pytest.approx(125 * 1024 * 1024)
+
+    def test_ladder_monotone(self):
+        from repro.streaming import bottleneck_ladder
+
+        reports = bottleneck_ladder(self._pipe(), steps=3, factor=2.0, packetized=False)
+        assert len(reports) == 3
+        gains = [r.throughput_gain for r in reports]
+        assert all(g >= -1e-12 for g in gains)
+        # once the source (500) caps the system, upgrades stop helping
+        final = reports[-1].candidate.throughput_lower_bound
+        assert final <= 500 * 1024 * 1024 * 1.001
+
+    def test_ladder_validation(self):
+        from repro.streaming import bottleneck_ladder, upgrade_stage
+
+        with pytest.raises(ValueError):
+            bottleneck_ladder(self._pipe(), steps=0)
+        with pytest.raises(ValueError):
+            upgrade_stage(self._pipe(), "a", 0.0)

@@ -1,0 +1,261 @@
+"""Tests for packetization, concatenation, closure, transient, fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nc import (
+    Curve,
+    Packetizer,
+    Tandem,
+    TandemNode,
+    backlog_bound_finite_workload,
+    backlog_bound_horizon,
+    burst_for_rate,
+    constant_rate,
+    delay_bound,
+    delay_bound_finite_workload,
+    fit_leaky_bucket,
+    fit_rate_latency,
+    is_subadditive,
+    leaky_bucket,
+    max_deconvolve,
+    packetize_arrival,
+    packetize_max_service,
+    packetize_service,
+    rate_latency,
+    rate_latency_from_job_times,
+    subadditive_closure,
+    affine_backlog_estimate,
+    affine_delay_estimate,
+)
+
+
+class TestPacketizer:
+    def test_arrival_keeps_zero_at_origin(self):
+        a = leaky_bucket(10.0, 2.0)
+        ap = packetize_arrival(a, 1.5)
+        assert ap(0.0) == 0.0
+        assert ap.right_limit(0.0) == pytest.approx(3.5)
+        assert ap(1.0) == pytest.approx(13.5)
+
+    def test_arrival_zero_packet_identity(self):
+        a = leaky_bucket(10.0, 2.0)
+        assert packetize_arrival(a, 0.0) is a
+
+    def test_service_clipped(self):
+        b = rate_latency(10.0, 1.0)
+        bp = packetize_service(b, 5.0)
+        assert bp(1.2) == 0.0  # 10*0.2 - 5 < 0
+        assert bp(1.5) == 0.0
+        assert bp(2.0) == pytest.approx(5.0)
+        # effective latency grows by l_max / R
+        assert delay_bound(leaky_bucket(1.0, 0.0), bp) == pytest.approx(1.5)
+
+    def test_max_service_unchanged(self):
+        g = constant_rate(7.0)
+        assert packetize_max_service(g, 3.0) is g
+
+    def test_packetizer_dataclass(self):
+        p = Packetizer(2.0)
+        a = leaky_bucket(4.0, 1.0)
+        assert p.arrival(a).right_limit(0.0) == pytest.approx(3.0)
+        assert p.service(constant_rate(4.0))(1.0) == pytest.approx(2.0)
+        assert p.max_service(constant_rate(9.0))(1.0) == 9.0
+        with pytest.raises(ValueError):
+            Packetizer(-1.0)
+
+
+class TestTandem:
+    def _tandem(self):
+        alpha = leaky_bucket(10.0, 2.0)
+        nodes = [
+            TandemNode(rate_latency(40.0, 0.02), constant_rate(60.0), "a"),
+            TandemNode(rate_latency(15.0, 0.05), constant_rate(25.0), "b"),
+            TandemNode(rate_latency(30.0, 0.01), None, "c"),
+        ]
+        return Tandem(alpha, nodes)
+
+    def test_system_service_curve(self):
+        t = self._tandem()
+        sys = t.system_service_curve()
+        assert sys.almost_equal(rate_latency(15.0, 0.08))
+
+    def test_max_service_none_when_missing(self):
+        t = self._tandem()
+        assert t.system_max_service_curve() is None
+        assert t.system_max_service_curve(0, 2).almost_equal(constant_rate(25.0))
+
+    def test_pay_bursts_only_once(self):
+        t = self._tandem()
+        e2e = t.end_to_end_delay_bound()
+        per_node = t.sum_of_per_node_delay_bounds()
+        assert e2e == pytest.approx(0.08 + 2.0 / 15.0)
+        assert e2e < per_node
+
+    def test_subset_consistency(self):
+        t = self._tandem()
+        full = t.subset_delay_bound(0, 3)
+        assert full == pytest.approx(t.end_to_end_delay_bound())
+        assert t.subset_backlog_bound(0, 3) == pytest.approx(t.end_to_end_backlog_bound())
+
+    def test_per_node_backlogs_positive_and_finite(self):
+        t = self._tandem()
+        xs = t.per_node_backlog_bounds()
+        assert len(xs) == 3
+        assert all(math.isfinite(x) and x >= 0 for x in xs)
+
+    def test_output_envelope_rate_preserved(self):
+        t = self._tandem()
+        out = t.output_envelope()
+        assert out.final_slope == pytest.approx(10.0)
+
+    def test_empty_tandem_rejected(self):
+        with pytest.raises(ValueError):
+            Tandem(leaky_bucket(1.0, 1.0), [])
+        with pytest.raises(ValueError):
+            self._tandem().system_service_curve(2, 2)
+
+
+class TestClosure:
+    def test_leaky_bucket_fixpoint(self):
+        lb = leaky_bucket(10.0, 5.0)
+        assert subadditive_closure(lb).almost_equal(lb)
+        assert is_subadditive(lb)
+
+    def test_rate_latency_not_subadditive(self):
+        b = rate_latency(10.0, 1.0)
+        assert not is_subadditive(b)
+        # zero on [0, T] => closure identically zero (chunking argument)
+        cl = subadditive_closure(b)
+        assert cl.almost_equal(Curve.zero())
+
+    def test_concave_with_burst_converges(self):
+        from repro.nc import piecewise_concave
+
+        f = piecewise_concave([(10.0, 2.0), (4.0, 6.0)])
+        assert subadditive_closure(f).almost_equal(f)
+
+    def test_negative_origin_rejected(self):
+        f = Curve([0.0], [-1.0], [-1.0], [1.0])
+        with pytest.raises(ValueError):
+            subadditive_closure(f)
+
+
+class TestTransient:
+    def test_affine_estimates_match_paper_formulas(self):
+        assert affine_delay_estimate(12.28, 350.0, 0.0118) == pytest.approx(
+            0.0118 + 12.28 / 350.0
+        )
+        assert affine_backlog_estimate(704.0, 12.28, 0.0118) == pytest.approx(
+            12.28 + 704.0 * 0.0118
+        )
+
+    def test_estimates_ignore_stability(self):
+        # R_alpha(704) > R_beta(350): classic bounds are inf, estimates finite
+        assert math.isfinite(affine_delay_estimate(1.0, 350.0, 0.01))
+        assert math.isfinite(affine_backlog_estimate(704.0, 1.0, 0.01))
+
+    def test_finite_workload_delay(self):
+        a = leaky_bucket(200.0, 1.0)
+        b = rate_latency(150.0, 0.01)
+        assert delay_bound(a, b) == math.inf
+        d = delay_bound_finite_workload(a, b, 50.0)
+        # alpha reaches 50 at (50-1)/200; beta at 0.01 + 50/150
+        assert d == pytest.approx((0.01 + 50.0 / 150.0) - 49.0 / 200.0)
+
+    def test_finite_workload_backlog(self):
+        a = leaky_bucket(200.0, 1.0)
+        b = rate_latency(150.0, 0.01)
+        x = backlog_bound_finite_workload(a, b, 50.0)
+        # worst when alpha saturates at W: W - beta(alpha^-1(W))
+        t_w = 49.0 / 200.0
+        assert x == pytest.approx(50.0 - 150.0 * (t_w - 0.01))
+
+    def test_workload_beyond_bounded_service(self):
+        a = leaky_bucket(10.0, 1.0)
+        b = leaky_bucket(0.0, 5.0)  # saturating server
+        assert delay_bound_finite_workload(a, b, 50.0) == math.inf
+
+    def test_horizon_backlog(self):
+        a = leaky_bucket(200.0, 1.0)
+        b = constant_rate(100.0)
+        assert backlog_bound_horizon(a, b, 0.1) == pytest.approx(1.0 + 100.0 * 0.1)
+        with pytest.raises(ValueError):
+            backlog_bound_horizon(a, b, -1.0)
+        with pytest.raises(ValueError):
+            delay_bound_finite_workload(a, b, 0.0)
+
+
+class TestFitting:
+    def test_burst_for_rate_exact(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        cum = [0.0, 5.0, 6.0, 11.0]
+        # rate 3: worst window is a single step of 5 in 1s -> b = 2
+        assert burst_for_rate(times, cum, 3.0) == pytest.approx(2.0)
+
+    def test_fit_leaky_bucket_envelopes_trace(self):
+        rng = np.random.default_rng(7)
+        times = np.cumsum(rng.uniform(0.01, 0.2, size=200))
+        times = np.concatenate(([0.0], times))
+        cum = np.concatenate(([0.0], np.cumsum(rng.uniform(0.0, 3.0, size=200))))
+        curve = fit_leaky_bucket(times, cum)
+        # envelope property: cum[j]-cum[i] <= alpha(t_j - t_i)
+        for i in range(0, 201, 17):
+            for j in range(i + 1, 201, 23):
+                dt = float(times[j] - times[i])
+                assert cum[j] - cum[i] <= curve(dt) + 1e-6
+
+    def test_fit_leaky_bucket_idle_trace(self):
+        c = fit_leaky_bucket([0.0, 1.0, 2.0], [4.0, 4.0, 4.0])
+        assert c.final_slope == 0.0
+
+    def test_fit_rate_latency_below_trace(self):
+        times = np.linspace(0, 10, 101)
+        cum = np.maximum(0.0, 5.0 * (times - 0.7)) + 0.3 * np.sin(times)
+        cum = np.maximum.accumulate(np.maximum(cum, 0.0))
+        beta = fit_rate_latency(times, cum)
+        assert np.all(beta(times) <= cum + 1e-9)
+
+    def test_fit_rate_latency_rejects_flat(self):
+        with pytest.raises(ValueError):
+            fit_rate_latency([0.0, 1.0], [2.0, 2.0])
+
+    def test_job_time_fit(self):
+        sizes = [100.0, 100.0, 200.0]
+        times = [1.0, 1.25, 2.0]
+        c = rate_latency_from_job_times(sizes, times, dispatch_overhead=0.5)
+        # worst rate = 100/1.25 = 80; latency = 2.0 + 0.5
+        assert c.final_slope == pytest.approx(80.0)
+        assert c(2.5) == 0.0
+        assert c(3.5) == pytest.approx(80.0)
+
+    def test_job_time_fit_validation(self):
+        with pytest.raises(ValueError):
+            rate_latency_from_job_times([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rate_latency_from_job_times([0.0], [1.0])
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            burst_for_rate([0.0, 0.0], [0.0, 1.0], 1.0)
+        with pytest.raises(ValueError):
+            burst_for_rate([0.0, 1.0], [1.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            burst_for_rate([0.0], [0.0], 1.0)
+
+
+class TestMaxPlus:
+    def test_max_deconvolve_basic(self):
+        f = leaky_bucket(5.0, 3.0)
+        g = constant_rate(5.0)
+        # inf_u [5(t+u)+3 - 5u] = 5t+3 for t>0
+        o = max_deconvolve(f, g)
+        assert o(1.0) == pytest.approx(8.0)
+
+    def test_max_deconvolve_unbounded(self):
+        from repro.nc import UnboundedCurveError
+
+        with pytest.raises(UnboundedCurveError, match="-inf"):
+            max_deconvolve(constant_rate(1.0), constant_rate(5.0))

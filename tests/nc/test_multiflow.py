@@ -1,0 +1,135 @@
+"""Tests for multi-flow residual-service analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nc import (
+    aggregate_arrival,
+    backlog_bound,
+    blind_residual,
+    constant_rate,
+    delay_bound,
+    fifo_residual,
+    fifo_residual_delay_bound,
+    leaky_bucket,
+    priority_residual,
+    rate_latency,
+)
+
+
+class TestAggregate:
+    def test_sum_of_flows(self):
+        a = aggregate_arrival(leaky_bucket(10.0, 1.0), leaky_bucket(5.0, 2.0))
+        assert a.final_slope == pytest.approx(15.0)
+        assert a.right_limit(0.0) == pytest.approx(3.0)
+        assert a(0.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_arrival()
+
+    def test_aggregate_bound_consistency(self):
+        """Total backlog of the aggregate bounds the sum of per-flow needs."""
+        beta = rate_latency(100.0, 0.01)
+        a1, a2 = leaky_bucket(30.0, 2.0), leaky_bucket(40.0, 5.0)
+        x_total = backlog_bound(aggregate_arrival(a1, a2), beta)
+        assert math.isfinite(x_total)
+        assert x_total >= 7.0  # at least the summed bursts
+
+
+class TestBlindResidual:
+    def test_rate_and_burst_penalty(self):
+        beta = rate_latency(100.0, 0.01)
+        a2 = leaky_bucket(40.0, 5.0)
+        r = blind_residual(beta, a2)
+        # long-run residual rate = 100 - 40
+        assert r.final_slope == pytest.approx(60.0)
+        # latency grows: r stays 0 until beta catches the cross flow,
+        # 100(t - 0.01) = 40t + 5  =>  t = 0.1
+        assert r(0.0999) == 0.0
+        assert r(0.11) > 0
+
+    def test_residual_below_full_service(self):
+        beta = rate_latency(100.0, 0.01)
+        a2 = leaky_bucket(40.0, 5.0)
+        r = blind_residual(beta, a2)
+        ts = np.linspace(0, 1, 41)
+        assert np.all(np.asarray(r(ts)) <= np.asarray(beta(ts)) + 1e-9)
+
+    def test_overloaded_cross_flow_starves(self):
+        beta = constant_rate(50.0)
+        r = blind_residual(beta, leaky_bucket(60.0, 0.0))
+        assert r.final_slope == 0.0
+        assert delay_bound(leaky_bucket(1.0, 1.0), r) == math.inf
+
+
+class TestFifoResidual:
+    def test_theta_zero_equals_blind(self):
+        beta = rate_latency(100.0, 0.01)
+        a2 = leaky_bucket(40.0, 5.0)
+        assert fifo_residual(beta, a2, 0.0).almost_equal(blind_residual(beta, a2))
+
+    def test_member_is_gated(self):
+        beta = rate_latency(100.0, 0.01)
+        a2 = leaky_bucket(40.0, 5.0)
+        r = fifo_residual(beta, a2, 0.05)
+        assert r(0.049) == 0.0
+        assert r(0.5) > 0.0
+
+    def test_fifo_never_worse_than_blind(self):
+        beta = rate_latency(100.0, 0.01)
+        a1 = leaky_bucket(30.0, 2.0)
+        a2 = leaky_bucket(40.0, 5.0)
+        d_blind = delay_bound(a1, blind_residual(beta, a2))
+        d_fifo, theta = fifo_residual_delay_bound(a1, beta, a2)
+        assert d_fifo <= d_blind + 1e-12
+        assert theta >= 0.0
+
+    def test_total_rate_check(self):
+        # flows jointly exceeding the server rate: no finite FIFO bound
+        beta = constant_rate(50.0)
+        d, _ = fifo_residual_delay_bound(
+            leaky_bucket(30.0, 1.0), beta, leaky_bucket(30.0, 1.0), theta_max=1.0
+        )
+        assert d == math.inf
+
+    def test_validation(self):
+        beta = constant_rate(10.0)
+        with pytest.raises(ValueError):
+            fifo_residual(beta, beta, -1.0)
+        with pytest.raises(ValueError):
+            fifo_residual_delay_bound(beta, beta, beta, theta_grid=1)
+
+
+class TestPriorityResidual:
+    def test_one_packet_penalty(self):
+        beta = constant_rate(100.0)
+        r = priority_residual(beta, 10.0)
+        # effective extra latency = one low-priority packet / rate
+        assert delay_bound(leaky_bucket(50.0, 0.0), r) == pytest.approx(0.1)
+
+    def test_zero_packet_is_identity(self):
+        beta = rate_latency(100.0, 0.01)
+        assert priority_residual(beta, 0.0) is beta
+
+
+class TestSharedLinkScenario:
+    """End-to-end: two pipelines sharing one PCIe link."""
+
+    def test_two_flows_on_pcie(self):
+        from repro.substrates.net import PcieLink
+
+        link = PcieLink("shared", gen=3, lanes=4)
+        beta = link.service_curve()
+        flow_a = leaky_bucket(1.0e9, 1 << 20)
+        flow_b = leaky_bucket(1.5e9, 4 << 20)
+        r_a = blind_residual(beta, flow_b)
+        r_b = blind_residual(beta, flow_a)
+        d_a = delay_bound(flow_a, r_a)
+        d_b = delay_bound(flow_b, r_b)
+        assert math.isfinite(d_a) and math.isfinite(d_b)
+        # each flow alone would be faster
+        assert d_a > delay_bound(flow_a, beta)
+        assert d_b > delay_bound(flow_b, beta)

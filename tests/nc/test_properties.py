@@ -1,0 +1,124 @@
+"""Property-based tests of the min-plus algebra on random PWL curves."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.nc import (
+    UnboundedCurveError,
+    convolve,
+    deconvolve,
+    max_convolve,
+    vertical_deviation,
+)
+from .conftest import (
+    assert_curves_match_on,
+    brute_convolve,
+    brute_deconvolve,
+    critical_times,
+    nondecreasing_curves,
+)
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_convolution_matches_oracle(f, g):
+    c = convolve(f, g)
+    ts = critical_times(f, g)
+    assert_curves_match_on(c, lambda t: brute_convolve(f, g, t), ts)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_convolution_commutative(f, g):
+    assert convolve(f, g).almost_equal(convolve(g, f), tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nondecreasing_curves(3), nondecreasing_curves(3), nondecreasing_curves(3))
+def test_convolution_associative(f, g, h):
+    a = convolve(convolve(f, g), h)
+    b = convolve(f, convolve(g, h))
+    assert a.almost_equal(b, tol=1e-9)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_convolution_nondecreasing_and_below_sum_shape(f, g):
+    c = convolve(f, g)
+    assert c.is_nondecreasing()
+    ts = critical_times(f, g)
+    # c(t) <= f(0) + g(t) and c(t) <= f(t) + g(0)
+    assert np.all(c(ts) <= f(ts) + g(0.0) + 1e-9)
+    assert np.all(c(ts) <= g(ts) + f(0.0) + 1e-9)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_deconvolution_matches_oracle(f, g):
+    if f.final_slope > g.final_slope:
+        with pytest.raises(UnboundedCurveError):
+            deconvolve(f, g)
+        return
+    o = deconvolve(f, g)
+    ts = critical_times(f, g)
+    assert_curves_match_on(o, lambda t: brute_deconvolve(f, g, t), ts)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_duality_f_below_deconv_conv(f, g):
+    """f <= (f (/) g) (*) g."""
+    if f.final_slope > g.final_slope:
+        return
+    h = convolve(deconvolve(f, g), g)
+    ts = critical_times(f, g)
+    assert np.all(h(ts) >= f(ts) - 1e-9)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_deconv_at_zero_is_vertical_deviation(f, g):
+    if f.final_slope > g.final_slope:
+        return
+    o = deconvolve(f, g)
+    v = vertical_deviation(f, g)
+    assert math.isfinite(v)
+    assert o(0.0) == pytest.approx(v, rel=1e-9, abs=1e-9)
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_max_convolution_against_oracle(f, g):
+    c = max_convolve(f, g)
+    ts = critical_times(f, g)
+
+    def oracle(t: float) -> float:
+        eps = 1e-9
+        cands = {0.0, t, t / 2.0}
+        for x in f.bx:
+            for v in (x, x + eps, x - eps):
+                if 0.0 <= v <= t:
+                    cands.add(float(v))
+        for x in g.bx:
+            for v in (t - x, t - x + eps, t - x - eps):
+                if 0.0 <= v <= t:
+                    cands.add(float(v))
+        s = np.array(sorted(cands))
+        return float(np.max(f(s) + g(t - s)))
+
+    assert_curves_match_on(c, oracle, ts)
+
+
+@_settings
+@given(nondecreasing_curves())
+def test_convolution_with_zero_is_initial_value(f):
+    """f (*) 0 = f(0) for nondecreasing f (inf over the whole prefix)."""
+    from repro.nc import Curve
+
+    z = Curve.zero()
+    assert convolve(f, z).almost_equal(Curve.constant(float(f.by[0])), tol=1e-9)

@@ -1,0 +1,163 @@
+"""Tests for the queueing baselines, including a DES cross-validation."""
+
+import math
+
+import pytest
+
+from repro.des import PipelineSimulation, SimStage, exponential
+from repro.queueing import (
+    MG1,
+    MM1,
+    QueueStation,
+    TandemQueueingModel,
+    mg1_from_uniform_service,
+)
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        q = MM1(lam=2.0, mu=5.0)
+        assert q.rho == pytest.approx(0.4)
+        assert q.stable
+        assert q.mean_jobs_in_system == pytest.approx(0.4 / 0.6)
+        assert q.mean_jobs_in_queue == pytest.approx(0.16 / 0.6)
+        assert q.mean_sojourn_time == pytest.approx(1.0 / 3.0)
+        assert q.mean_waiting_time == pytest.approx(0.4 / 3.0)
+
+    def test_littles_law(self):
+        q = MM1(3.0, 4.0)
+        assert q.mean_jobs_in_system == pytest.approx(q.lam * q.mean_sojourn_time)
+        assert q.mean_jobs_in_queue == pytest.approx(q.lam * q.mean_waiting_time)
+
+    def test_unstable(self):
+        q = MM1(5.0, 4.0)
+        assert not q.stable
+        assert q.mean_jobs_in_system == math.inf
+        assert q.mean_sojourn_time == math.inf
+        assert q.p_n(3) == 0.0
+        with pytest.raises(ValueError):
+            q.queue_length_quantile(0.9)
+
+    def test_p_n_sums_to_one(self):
+        q = MM1(1.0, 2.0)
+        assert sum(q.p_n(n) for n in range(200)) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            q.p_n(-1)
+
+    def test_quantile(self):
+        q = MM1(1.0, 2.0)
+        n = q.queue_length_quantile(0.99)
+        # P(N <= n) = 1 - rho^{n+1} >= 0.99 with rho = 0.5 -> n >= 6.64-1
+        assert n == 6
+        assert MM1(0.0, 1.0).queue_length_quantile(0.9) == 0
+        with pytest.raises(ValueError):
+            q.queue_length_quantile(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MM1(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            MM1(1.0, 0.0)
+
+
+class TestMG1:
+    def test_reduces_to_mm1_for_exponential(self):
+        lam, mu = 2.0, 5.0
+        # exponential service: E[S]=1/mu, E[S^2]=2/mu^2
+        g = MG1(lam, 1.0 / mu, 2.0 / mu**2)
+        m = MM1(lam, mu)
+        assert g.mean_waiting_time == pytest.approx(m.mean_waiting_time)
+        assert g.mean_sojourn_time == pytest.approx(m.mean_sojourn_time)
+        assert g.mean_jobs_in_system == pytest.approx(m.mean_jobs_in_system)
+
+    def test_deterministic_service_halves_wait(self):
+        lam, mu = 2.0, 5.0
+        det = MG1(lam, 1.0 / mu, 1.0 / mu**2)  # zero variance
+        exp = MG1(lam, 1.0 / mu, 2.0 / mu**2)
+        assert det.mean_waiting_time == pytest.approx(exp.mean_waiting_time / 2.0)
+
+    def test_uniform_helper(self):
+        g = mg1_from_uniform_service(1.0, 0.1, 0.3)
+        assert g.service_mean == pytest.approx(0.2)
+        assert g.service_second_moment == pytest.approx((0.01 + 0.03 + 0.09) / 3.0)
+        with pytest.raises(ValueError):
+            mg1_from_uniform_service(1.0, 0.3, 0.1)
+
+    def test_unstable_and_validation(self):
+        assert MG1(10.0, 0.2, 0.05).mean_waiting_time == math.inf
+        with pytest.raises(ValueError):
+            MG1(1.0, 0.2, 0.01)  # second moment < mean^2
+
+
+class TestTandemModel:
+    def _model(self):
+        return TandemQueueingModel.from_rates(
+            [("a", 400.0, 10.0), ("b", 150.0, 20.0), ("c", 300.0, 10.0)],
+            input_rate=500.0,
+        )
+
+    def test_bottleneck_and_roofline(self):
+        m = self._model()
+        assert m.bottleneck().name == "b"
+        assert m.predicted_throughput() == 150.0
+        m2 = TandemQueueingModel.from_rates([("a", 400.0, 10.0)], input_rate=100.0)
+        assert m2.predicted_throughput() == 100.0  # source-limited
+
+    def test_utilizations(self):
+        u = self._model().utilizations()
+        assert u["b"] == pytest.approx(1.0)
+        assert u["a"] == pytest.approx(150.0 / 400.0)
+
+    def test_sojourn_finite_below_saturation(self):
+        m = self._model()
+        w = m.mean_sojourn_time(load_fraction=0.9)
+        assert math.isfinite(w) and w > 0
+        assert m.mean_sojourn_time(load_fraction=1.0) == math.inf  # rho=1 at bottleneck
+
+    def test_backlog_monotone_in_load(self):
+        m = self._model()
+        assert m.mean_backlog_bytes(0.5) < m.mean_backlog_bytes(0.9)
+        assert m.mean_backlog_bytes(1.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TandemQueueingModel([], 1.0)
+        with pytest.raises(ValueError):
+            self._model().stations_mm1(0.0)
+        with pytest.raises(ValueError):
+            QueueStation("x", 0.0, 1.0)
+
+
+class TestTheoryVsSimulation:
+    """The DES kernel reproduces M/M/1 theory — cross-validation of both."""
+
+    def test_mm1_sojourn_time(self):
+        lam, mu = 5.0, 8.0
+        job = 1.0
+        sim = PipelineSimulation(
+            [SimStage("srv", job, exponential(1.0 / mu))],
+            workload_bytes=20000.0,
+            source_rate=lam,
+            source_packet=job,
+            seed=123,
+            interarrival=exponential(1.0 / lam),
+        )
+        rep = sim.run()
+        w_theory = MM1(lam, mu).mean_sojourn_time
+        w_sim = rep.delays_last.mean
+        assert w_sim == pytest.approx(w_theory, rel=0.10)
+
+    def test_mg1_uniform_sojourn_time(self):
+        lam = 5.0
+        t_min, t_max = 0.05, 0.15  # mean 0.1 -> mu = 10
+        sim = PipelineSimulation(
+            [SimStage("srv", 1.0, __import__("repro.des", fromlist=["uniform"]).uniform(t_min, t_max))],
+            workload_bytes=20000.0,
+            source_rate=lam,
+            source_packet=1.0,
+            seed=7,
+            interarrival=exponential(1.0 / lam),
+        )
+        rep = sim.run()
+        g = mg1_from_uniform_service(lam, t_min, t_max)
+        assert rep.delays_last.mean == pytest.approx(g.mean_sojourn_time, rel=0.10)

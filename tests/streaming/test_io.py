@@ -1,0 +1,79 @@
+"""Tests for pipeline JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.apps.blast import blast_pipeline
+from repro.apps.bump_in_the_wire import bitw_pipeline
+from repro.streaming import (
+    analyze,
+    load_pipeline,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    save_pipeline,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("maker", [blast_pipeline, bitw_pipeline], ids=["blast", "bitw"])
+    def test_dict_round_trip_preserves_analysis(self, maker):
+        original = maker()
+        rebuilt = pipeline_from_dict(pipeline_to_dict(original))
+        a = analyze(original, packetized=False)
+        b = analyze(rebuilt, packetized=False)
+        assert b.throughput_lower_bound == pytest.approx(a.throughput_lower_bound)
+        assert b.throughput_upper_bound == pytest.approx(a.throughput_upper_bound)
+        assert b.delay_bound == pytest.approx(a.delay_bound)
+        assert b.backlog_bound == pytest.approx(a.backlog_bound)
+        assert [s.name for s in rebuilt.stages] == [s.name for s in original.stages]
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_pipeline(bitw_pipeline(), tmp_path / "bitw.json")
+        rebuilt = load_pipeline(path)
+        assert rebuilt.name == "bump-in-the-wire"
+        # the document is plain, diff-friendly JSON
+        doc = json.loads(path.read_text())
+        assert doc["source"]["rate"] == bitw_pipeline().source.rate
+
+    def test_exec_time_overrides_preserved(self):
+        original = blast_pipeline()
+        rebuilt = pipeline_from_dict(pipeline_to_dict(original))
+        s = rebuilt.stages[rebuilt.stage_index("ungapped_ext")]
+        assert s.exec_time_min is not None
+        assert s.exec_time_min == pytest.approx(
+            original.stages[-1].exec_time_min
+        )
+
+    def test_volume_ratios_preserved(self):
+        rebuilt = pipeline_from_dict(pipeline_to_dict(bitw_pipeline()))
+        comp = rebuilt.stages[rebuilt.stage_index("compress")]
+        assert comp.volume_ratio.best == pytest.approx(1 / 5.3)
+
+
+class TestValidation:
+    def test_missing_top_level_key(self):
+        with pytest.raises(ValueError, match="missing key"):
+            pipeline_from_dict({"name": "x"})
+
+    def test_missing_stage_field(self):
+        doc = pipeline_to_dict(bitw_pipeline())
+        del doc["stages"][0]["avg_rate"]
+        with pytest.raises(ValueError, match="missing"):
+            pipeline_from_dict(doc)
+
+    def test_unknown_stage_field_rejected(self):
+        doc = pipeline_to_dict(bitw_pipeline())
+        doc["stages"][0]["avg_rte"] = 1.0  # typo
+        with pytest.raises(ValueError, match="unknown fields"):
+            pipeline_from_dict(doc)
+
+    def test_source_defaults(self):
+        doc = {
+            "name": "min",
+            "source": {"rate": 10.0},
+            "stages": [{"name": "a", "avg_rate": 5.0}],
+        }
+        p = pipeline_from_dict(doc)
+        assert p.source.burst == 0.0
+        assert p.stages[0].rate_min == 5.0

@@ -1,0 +1,124 @@
+"""Property-based tests of the streaming modeling layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming import (
+    Pipeline,
+    Source,
+    Stage,
+    VolumeRatio,
+    analyze,
+    build_model,
+    cumulative_volume_factors,
+    normalize_stages,
+    total_latency,
+)
+
+_rates = st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+_ratios = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+_settings = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def stages_strategy(draw, n_max: int = 5):
+    n = draw(st.integers(min_value=1, max_value=n_max))
+    out = []
+    for i in range(n):
+        base = draw(_rates)
+        spread = draw(st.floats(min_value=1.0, max_value=3.0))
+        # physically meaningful scenario labels: the "best" scenario
+        # carries the least data volume (e.g. strongest compression)
+        a, b, c = sorted(draw(st.tuples(_ratios, _ratios, _ratios)))
+        vr = VolumeRatio(best=a, avg=b, worst=c)
+        out.append(
+            Stage(
+                f"s{i}",
+                avg_rate=base,
+                min_rate=base / spread,
+                max_rate=base * spread,
+                latency=draw(st.floats(min_value=0.0, max_value=0.1)),
+                job_bytes=draw(st.floats(min_value=1.0, max_value=64.0)),
+                volume_ratio=vr,
+            )
+        )
+    return out
+
+
+@_settings
+@given(stages_strategy())
+def test_normalization_rate_ordering(stages):
+    """Input-referred min <= avg <= max never inverts when the scenario
+    alignment is consistent per bound."""
+    ns = normalize_stages(stages)
+    for s, raw in zip(ns, stages):
+        # raw ordering survives scenario-fixed normalization
+        for scenario in ("worst", "avg", "best"):
+            fixed = normalize_stages(stages, scenario)
+            f = next(x for x in fixed if x.name == s.name)
+            assert f.rate_min <= f.rate_avg * (1 + 1e-12)
+            assert f.rate_avg <= f.rate_max * (1 + 1e-12)
+
+
+@_settings
+@given(stages_strategy())
+def test_cross_pairing_brackets_every_scenario(stages):
+    """The model view (cross pairing) bounds every fixed scenario."""
+    cross = normalize_stages(stages)
+    for scenario in ("worst", "avg", "best"):
+        fixed = normalize_stages(stages, scenario)
+        for c, f in zip(cross, fixed):
+            assert c.rate_min <= f.rate_min * (1 + 1e-9)
+            assert c.rate_max >= f.rate_max * (1 - 1e-9)
+
+
+@_settings
+@given(stages_strategy())
+def test_inverse_ratio_cancels(stages):
+    """Appending each stage's inverse restores unit cumulative volume."""
+    ratios = [s.volume_ratio for s in stages]
+    mirrored = ratios + [r.inverse() for r in reversed(ratios)]
+    factors = cumulative_volume_factors(mirrored + [VolumeRatio.identity()])
+    last = factors[-1]
+    assert last.best == pytest.approx(1.0)
+    assert last.avg == pytest.approx(1.0)
+    assert last.worst == pytest.approx(1.0)
+
+
+@_settings
+@given(stages_strategy(), st.floats(min_value=1.0, max_value=1e4))
+def test_total_latency_monotone_in_source_rate(stages, rate):
+    """Faster arrivals can only shrink collection time."""
+    ns = normalize_stages(stages)
+    slow = total_latency(ns, rate)
+    fast = total_latency(ns, rate * 2.0)
+    assert fast <= slow + 1e-12
+
+
+@_settings
+@given(stages_strategy())
+def test_conservative_aggregation_dominates(stages):
+    pipe = Pipeline("p", Source(rate=100.0, burst=32.0, packet_bytes=8.0), stages)
+    paper = build_model(pipe, packetized=False)
+    cons = build_model(pipe, packetized=False, conservative_aggregation=True)
+    assert cons.total_latency >= paper.total_latency - 1e-12
+
+
+@_settings
+@given(stages_strategy(3))
+def test_analysis_invariants(stages):
+    pipe = Pipeline("p", Source(rate=50.0, burst=4.0, packet_bytes=4.0), stages)
+    rep = analyze(pipe, packetized=False)
+    assert rep.throughput_lower_bound <= rep.throughput_upper_bound * (1 + 1e-9)
+    assert rep.delay_bound >= 0
+    assert rep.backlog_bound >= 0
+    if rep.stable:
+        assert math.isfinite(rep.delay_bound)
+        assert math.isfinite(rep.backlog_bound)
+    assert len(rep.nodes) == len(stages)
+    # per-node collection+dispatch sums to the total latency
+    total = sum(n.collection_time + n.dispatch_latency for n in rep.nodes)
+    assert total == pytest.approx(rep.total_latency)

@@ -1,0 +1,101 @@
+"""Tests for buffer sizing and backpressure (future-work features)."""
+
+import math
+
+import pytest
+
+from repro.streaming import (
+    Pipeline,
+    Source,
+    Stage,
+    admissible_source_rate,
+    analyze,
+    max_rate_for_buffers,
+    shaped_source,
+    simulate,
+    size_buffers,
+)
+from repro.units import KiB, MiB
+
+
+def pipe(rate=100 * MiB) -> Pipeline:
+    return Pipeline(
+        "p",
+        Source(rate=rate, burst=1 * MiB, packet_bytes=64 * KiB),
+        [
+            Stage("a", avg_rate=400 * MiB, min_rate=300 * MiB, latency=1e-3,
+                  job_bytes=1 * MiB),
+            Stage("b", avg_rate=200 * MiB, min_rate=150 * MiB, latency=2e-3,
+                  job_bytes=4 * MiB),
+        ],
+    )
+
+
+class TestSizing:
+    def test_buffers_cover_bounds(self):
+        plan = size_buffers(pipe(), margin=0.0, granule=1.0)
+        rep = analyze(pipe())
+        for node in rep.nodes:
+            assert plan.buffers[node.name] >= node.backlog_contribution - 1.0
+
+    def test_margin_and_granule(self):
+        p0 = size_buffers(pipe(), margin=0.0, granule=4096.0)
+        p1 = size_buffers(pipe(), margin=0.5, granule=4096.0)
+        for name in p0.buffers:
+            assert p1.buffers[name] >= p0.buffers[name]
+            assert p1.buffers[name] % 4096 == 0
+        assert p1.total_bytes == sum(p1.buffers.values())
+        assert "buffer plan" in p1.summary()
+
+    def test_unstable_needs_workload(self):
+        unstable = pipe(rate=500 * MiB)
+        plan = size_buffers(unstable, workload=64 * MiB)
+        assert all(math.isfinite(v) for v in plan.buffers.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_buffers(pipe(), margin=-0.1)
+        with pytest.raises(ValueError):
+            size_buffers(pipe(), granule=0.0)
+
+
+class TestBackpressure:
+    def test_admissible_rate_is_bottleneck(self):
+        assert admissible_source_rate(pipe()) == pytest.approx(150 * MiB)
+
+    def test_shaped_source_stabilizes(self):
+        unstable = pipe(rate=500 * MiB)
+        assert not analyze(unstable).stable
+        shaped = unstable.with_source(shaped_source(unstable))
+        assert analyze(shaped).stable
+
+    def test_shaped_source_utilization(self):
+        s = shaped_source(pipe(), utilization=0.5)
+        assert s.rate == pytest.approx(75 * MiB)
+        with pytest.raises(ValueError):
+            shaped_source(pipe(), utilization=1.5)
+        with pytest.raises(ValueError):
+            shaped_source(pipe(), utilization=0.0)
+
+    def test_max_rate_for_buffers(self):
+        p = pipe(rate=500 * MiB)
+        buffers = {"a": 8 * MiB, "b": 16 * MiB}
+        r = max_rate_for_buffers(p, buffers)
+        assert 0 < r <= admissible_source_rate(p)
+        # bigger buffers allow a faster (or equal) source
+        r2 = max_rate_for_buffers(p, {"a": 32 * MiB, "b": 64 * MiB})
+        assert r2 >= r
+
+    def test_buffer_too_small_for_job(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            max_rate_for_buffers(pipe(), {"a": 1 * KiB, "b": 16 * MiB})
+        with pytest.raises(KeyError):
+            max_rate_for_buffers(pipe(), {"a": 8 * MiB})
+
+    def test_shaped_pipeline_simulates_stably(self):
+        unstable = pipe(rate=500 * MiB)
+        shaped = unstable.with_source(shaped_source(unstable, utilization=0.9))
+        rep = analyze(shaped, packetized=False)
+        sim = simulate(shaped, workload=64 * MiB, seed=2)
+        assert sim.conservation_ok()
+        assert sim.max_backlog_bytes <= rep.backlog_bound * 1.01

@@ -1,0 +1,141 @@
+"""Tests for Stage / VolumeRatio / normalization."""
+
+import pytest
+
+from repro.streaming import (
+    Stage,
+    StageKind,
+    VolumeRatio,
+    cumulative_volume_factors,
+    normalize_stages,
+)
+from repro.units import KiB, MiB
+
+
+class TestVolumeRatio:
+    def test_identity(self):
+        v = VolumeRatio.identity()
+        assert v.best == v.avg == v.worst == 1.0
+
+    def test_from_compression(self):
+        v = VolumeRatio.from_compression(2.2, 1.0, 5.3)
+        assert v.best == pytest.approx(1 / 5.3)
+        assert v.avg == pytest.approx(1 / 2.2)
+        assert v.worst == pytest.approx(1.0)
+
+    def test_from_compression_default_bounds(self):
+        v = VolumeRatio.from_compression(3.0)
+        assert v.best == pytest.approx(1 / 3.0)
+        assert v.worst == 1.0
+
+    def test_inverse_cancels(self):
+        v = VolumeRatio.from_compression(2.2, 1.0, 5.3)
+        inv = v.inverse()
+        for field in ("best", "avg", "worst"):
+            assert getattr(v, field) * getattr(inv, field) == pytest.approx(1.0)
+
+    def test_fixed(self):
+        v = VolumeRatio.fixed(0.25)
+        assert v.best == v.avg == v.worst == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolumeRatio(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            VolumeRatio.from_compression(1.0, 2.0, 3.0)  # min > avg
+
+
+class TestStage:
+    def test_rate_defaults(self):
+        s = Stage("x", avg_rate=100.0)
+        assert s.rate_min == 100.0
+        assert s.rate_max == 100.0
+
+    def test_rate_ordering_enforced(self):
+        with pytest.raises(ValueError, match="min_rate <= avg_rate"):
+            Stage("x", avg_rate=100.0, min_rate=150.0)
+        with pytest.raises(ValueError, match="min_rate <= avg_rate"):
+            Stage("x", avg_rate=100.0, max_rate=50.0)
+
+    def test_job_ratio(self):
+        s = Stage("d", avg_rate=10.0, job_bytes=8.0, emit_bytes=2.0)
+        assert s.job_ratio == 4.0
+        # default emit: job * avg volume ratio
+        s2 = Stage("c", avg_rate=10.0, job_bytes=8.0, volume_ratio=VolumeRatio.fixed(0.25))
+        assert s2.output_bytes == 2.0
+        assert s2.job_ratio == 4.0
+
+    def test_link_builder(self):
+        s = Stage.link("net", 100 * MiB, latency=1e-6, mtu=KiB)
+        assert s.rate_min == s.rate_max == 100 * MiB
+        assert s.kind == StageKind.NETWORK
+        assert s.job_bytes == KiB
+
+    def test_exec_time_pairing(self):
+        with pytest.raises(ValueError, match="both"):
+            Stage("x", avg_rate=10.0, exec_time_min=1.0)
+        with pytest.raises(ValueError):
+            Stage("x", avg_rate=10.0, exec_time_min=2.0, exec_time_max=1.0)
+
+    def test_with_rates(self):
+        s = Stage("x", avg_rate=10.0).with_rates(5.0, 10.0, 20.0)
+        assert s.rate_min == 5.0 and s.rate_max == 20.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Stage("", avg_rate=1.0)
+
+
+class TestNormalization:
+    def _chain(self):
+        comp = VolumeRatio.from_compression(2.0, 1.0, 4.0)
+        return [
+            Stage("compress", avg_rate=1000.0, volume_ratio=comp),
+            Stage("encrypt", avg_rate=60.0, min_rate=50.0, max_rate=80.0),
+            Stage("decompress", avg_rate=900.0, volume_ratio=comp.inverse()),
+            Stage("sink_side", avg_rate=5000.0),
+        ]
+
+    def test_cumulative_factors_cancel_after_decompress(self):
+        ratios = [s.volume_ratio for s in self._chain()]
+        fs = cumulative_volume_factors(ratios)
+        assert fs[0].avg == 1.0
+        assert fs[1].avg == pytest.approx(0.5)  # after compressor
+        assert fs[1].best == pytest.approx(0.25)
+        assert fs[3].avg == pytest.approx(1.0)  # decompressor cancels
+        assert fs[3].best == pytest.approx(1.0)
+        assert fs[3].worst == pytest.approx(1.0)
+
+    def test_input_referred_rates(self):
+        ns = normalize_stages(self._chain())
+        enc = ns[1]
+        # worst scenario: no compression -> raw rates
+        assert enc.rate_min == pytest.approx(50.0)
+        # avg scenario: x2 compression doubles the input-referred rate
+        assert enc.rate_avg == pytest.approx(120.0)
+        # best scenario: x4
+        assert enc.rate_max == pytest.approx(320.0)
+        # after decompression everything is input-referred 1:1
+        assert ns[3].rate_avg == pytest.approx(5000.0)
+
+    def test_fixed_scenario(self):
+        ns = normalize_stages(self._chain(), scenario="best")
+        enc = ns[1]
+        assert enc.rate_min == pytest.approx(50.0 * 4)
+        assert enc.rate_max == pytest.approx(80.0 * 4)
+        with pytest.raises(ValueError, match="scenario"):
+            normalize_stages(self._chain(), scenario="typical")
+
+    def test_job_bytes_normalized(self):
+        stages = [
+            Stage("compress", avg_rate=1000.0, volume_ratio=VolumeRatio.fixed(0.5)),
+            Stage("net", avg_rate=100.0, job_bytes=512.0),
+        ]
+        ns = normalize_stages(stages)
+        # 512 local (compressed) bytes = 1024 input-referred
+        assert ns[1].job_bytes == pytest.approx(1024.0)
+        assert ns[1].job_ratio == pytest.approx(1.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            normalize_stages([Stage("a", avg_rate=1.0), Stage("a", avg_rate=2.0)])

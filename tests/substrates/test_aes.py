@@ -1,0 +1,136 @@
+"""Tests for the AES core and CBC mode (FIPS-197 / NIST SP 800-38A vectors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrates.dataproc import (
+    AES,
+    BLOCK_SIZE,
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFipsVectors:
+    """Appendix C of FIPS-197: the three reference example vectors."""
+
+    def test_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = AES(key).encrypt_block(_PT)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert AES(key).decrypt_block(ct) == _PT
+
+    def test_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        ct = AES(key).encrypt_block(_PT)
+        assert ct.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+        assert AES(key).decrypt_block(ct) == _PT
+
+    def test_aes256(self):
+        key = bytes(range(32))
+        ct = AES(key).encrypt_block(_PT)
+        assert ct.hex() == "8ea2b7ca516745bfeafc49904b496089"
+        assert AES(key).decrypt_block(ct) == _PT
+
+
+class TestNistCbcVector:
+    """NIST SP 800-38A F.2.5: CBC-AES256 encryption (first two blocks)."""
+
+    def test_cbc_aes256(self):
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d7781"
+            "1f352c073b6108d72d9810a30914dff4"
+        )
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+        )
+        expected = bytes.fromhex(
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd6"
+            "9cfc4e967edb808d679f777bc6702c7d"
+        )
+        # cbc_encrypt pads, so compare only the raw-plaintext blocks
+        ct = cbc_encrypt(key, iv, plaintext)
+        assert ct[: len(expected)] == expected
+
+
+class TestCore:
+    def test_invalid_key_length(self):
+        with pytest.raises(ValueError, match="key"):
+            AES(b"short")
+
+    def test_invalid_block_length(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError, match="block"):
+            cipher.encrypt_block(b"too short")
+        with pytest.raises(ValueError, match="block"):
+            cipher.decrypt_block(b"x" * 17)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.sampled_from([16, 24, 32]))
+    def test_block_round_trip(self, block, key_len):
+        cipher = AES(bytes(range(key_len)))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_distinct_keys_distinct_ciphertexts(self):
+        a = AES(bytes(32)).encrypt_block(_PT)
+        b = AES(bytes([1]) + bytes(31)).encrypt_block(_PT)
+        assert a != b
+
+
+class TestPadding:
+    def test_pad_round_trip_all_lengths(self):
+        for n in range(0, 49):
+            data = bytes(range(n % 256))[:n]
+            padded = pkcs7_pad(data)
+            assert len(padded) % BLOCK_SIZE == 0
+            assert pkcs7_unpad(padded) == data
+
+    def test_unpad_rejects_garbage(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"")
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bytes(15))  # not a block multiple
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bytes(15) + b"\x00")  # pad byte 0
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bytes(14) + b"\x01\x02")  # inconsistent
+
+    def test_pad_validation(self):
+        with pytest.raises(ValueError):
+            pkcs7_pad(b"x", block_size=0)
+
+
+class TestCbc:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_round_trip(self, plaintext):
+        key, iv = bytes(range(32)), bytes(range(16))
+        assert cbc_decrypt(key, iv, cbc_encrypt(key, iv, plaintext)) == plaintext
+
+    def test_iv_matters(self):
+        key = bytes(32)
+        c1 = cbc_encrypt(key, bytes(16), b"hello world")
+        c2 = cbc_encrypt(key, bytes([1]) + bytes(15), b"hello world")
+        assert c1 != c2
+
+    def test_chaining_propagates(self):
+        # equal plaintext blocks encrypt differently under CBC
+        key, iv = bytes(32), bytes(16)
+        ct = cbc_encrypt(key, iv, bytes(32))
+        assert ct[:16] != ct[16:32]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="IV"):
+            cbc_encrypt(bytes(32), bytes(8), b"x")
+        with pytest.raises(ValueError, match="IV"):
+            cbc_decrypt(bytes(32), bytes(8), bytes(16))
+        with pytest.raises(ValueError):
+            cbc_decrypt(bytes(32), bytes(16), bytes(15))

@@ -1,0 +1,253 @@
+"""Tests for the BLASTN substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrates.bio import (
+    BlastnPipeline,
+    FastaRecord,
+    KmerTable,
+    ScoringScheme,
+    best_ungapped_extension,
+    bit2fa,
+    decode_bases,
+    encode_bases,
+    fa2bit,
+    kmer_values,
+    parse_fasta,
+    unpack_2bit,
+    pack_2bit,
+    write_fasta,
+)
+
+_dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestFasta:
+    def test_parse_simple(self):
+        recs = parse_fasta(">one desc\nACGT\nacgt\n\n>two\nTTTT\n")
+        assert len(recs) == 2
+        assert recs[0].header == "one desc"
+        assert recs[0].sequence == "ACGTACGT"
+        assert recs[1].sequence == "TTTT"
+
+    def test_round_trip(self):
+        recs = [FastaRecord("a", "ACGT" * 30), FastaRecord("b", "TTT")]
+        assert parse_fasta(write_fasta(recs)) == recs
+
+    def test_wrapping(self):
+        text = write_fasta([FastaRecord("x", "A" * 100)], width=10)
+        assert max(len(line) for line in text.splitlines()) == 10
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="before the first"):
+            parse_fasta("ACGT\n>x\nACGT")
+        with pytest.raises(ValueError, match="invalid DNA"):
+            FastaRecord("x", "ACGZ")
+        with pytest.raises(ValueError):
+            write_fasta([], width=0)
+
+    def test_empty_text(self):
+        assert parse_fasta("") == []
+        assert write_fasta([]) == ""
+
+
+class TestTwoBit:
+    @settings(max_examples=80, deadline=None)
+    @given(_dna)
+    def test_round_trip(self, seq):
+        packed, n = fa2bit(seq)
+        assert n == len(seq)
+        assert len(packed) == (len(seq) + 3) // 4
+        assert bit2fa(packed, n) == seq
+
+    def test_compression_is_4_to_1(self):
+        packed, _ = fa2bit("ACGT" * 256)
+        assert len(packed) == 256
+
+    def test_rejects_n(self):
+        with pytest.raises(ValueError, match="unencodable"):
+            encode_bases("ACGN")
+
+    def test_decode_validates(self):
+        with pytest.raises(ValueError):
+            decode_bases(np.array([4], dtype=np.uint8))
+
+    def test_unpack_bounds(self):
+        packed, _ = pack_2bit(encode_bases("ACGT"))
+        with pytest.raises(ValueError):
+            unpack_2bit(packed, 5)
+
+    def test_known_packing(self):
+        # A=0 C=1 G=2 T=3, first base in low bits: "ACGT" -> 0b11100100
+        packed, _ = pack_2bit(encode_bases("ACGT"))
+        assert packed == bytes([0b11100100])
+
+
+class TestKmer:
+    def test_values_match_manual(self):
+        codes = encode_bases("ACGTACGT")
+        vals = kmer_values(codes, k=2)
+        # "AC"=0b0001=1, "CG"=0b0110=6, "GT"=0b1011=11, "TA"=0b1100=12, ...
+        assert list(vals[:4]) == [1, 6, 11, 12]
+
+    def test_stride(self):
+        codes = encode_bases("ACGTACGTACGT")
+        all_vals = kmer_values(codes, k=4)
+        strided = kmer_values(codes, k=4, stride=4)
+        assert list(strided) == list(all_vals[::4])
+
+    def test_short_sequence_empty(self):
+        assert len(kmer_values(encode_bases("ACG"), k=8)) == 0
+
+    def test_validation(self):
+        codes = encode_bases("ACGT")
+        with pytest.raises(ValueError):
+            kmer_values(codes, k=0)
+        with pytest.raises(ValueError):
+            kmer_values(codes, k=2, stride=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=8, max_size=80))
+    def test_table_against_brute_force(self, query):
+        table = KmerTable.from_query(query, k=8)
+        for start in range(0, len(query) - 7, 3):
+            kmer = query[start : start + 8]
+            val = int(kmer_values(encode_bases(kmer), k=8)[0])
+            assert table.lookup(val)
+            assert start in table.positions(val)
+        # a value larger than any 8-mer cannot occur
+        assert not table.lookup(4**8)
+
+    def test_contains_mask_matches_lookup(self):
+        query = "ACGTACGTTTACGGA"
+        table = KmerTable.from_query(query, k=8)
+        db = encode_bases("ACGTACGTTTACGGAACGTACGT")
+        vals = kmer_values(db, k=8)
+        mask = table.contains_mask(vals)
+        assert list(mask) == [table.lookup(int(v)) for v in vals]
+
+    def test_query_too_short(self):
+        with pytest.raises(ValueError):
+            KmerTable.from_query("ACG", k=8)
+
+
+class TestScoring:
+    def test_scheme_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=1)
+
+    def test_perfect_extension(self):
+        db = encode_bases("AAAACGTACGTAAAA")
+        q = encode_bases("AAAACGTACGTAAAA")
+        # seed of 4 in the middle, everything matches
+        score = best_ungapped_extension(db, q, 5, 5, 4, window=14)
+        # seed 4 + best left (5) + best right (up to window halves)
+        assert score > 4
+
+    def test_mismatches_stop_extension(self):
+        db = encode_bases("TTTTACGTTTTT")
+        q = encode_bases("CCCCACGTCCCC")
+        score = best_ungapped_extension(db, q, 4, 4, 4)
+        assert score == 4  # no profitable extension either way
+
+    def test_brute_force_comparison(self):
+        rng = np.random.default_rng(3)
+        db = rng.integers(0, 4, 60)
+        q = db.copy()
+        q[10:15] = (q[10:15] + 1) % 4  # plant mismatches
+        scheme = ScoringScheme()
+        p = q_pos = 30
+        k = 8
+        got = best_ungapped_extension(db, q, p, q_pos, k, scheme, window=24)
+        # brute force over the same window
+        half = (24 - k) // 2
+        best_l = 0
+        run = 0
+        for step in range(1, half + 1):
+            run += scheme.match if db[p - step] == q[q_pos - step] else scheme.mismatch
+            best_l = max(best_l, run)
+        best_r = 0
+        run = 0
+        for step in range(half + 1):
+            i = p + k + step
+            run += scheme.match if db[i] == q[q_pos + k + step] else scheme.mismatch
+            best_r = max(best_r, run)
+        assert got == k * scheme.match + best_l + best_r
+
+    def test_validation(self):
+        db = encode_bases("ACGTACGT")
+        with pytest.raises(ValueError):
+            best_ungapped_extension(db, db, 20, 0, 4)
+        with pytest.raises(ValueError):
+            best_ungapped_extension(db, db, 0, 0, 0)
+        with pytest.raises(ValueError):
+            best_ungapped_extension(db, db, 0, 0, 4, window=2)
+
+
+class TestBlastn:
+    def _planted(self, n=8000, plant_len=80, seed=5):
+        rng = np.random.default_rng(seed)
+        db = "".join(np.array(list("ACGT"))[rng.integers(0, 4, n)])
+        query = db[n // 2 : n // 2 + plant_len]
+        return db, query
+
+    def test_finds_planted_region(self):
+        db, query = self._planted()
+        hits, counts = BlastnPipeline(query).search(db)
+        assert counts.seed_match_in > 0
+        start = len(db) // 2
+        assert any(abs(h.db_pos - (start + h.query_pos)) < 8 for h in hits)
+        assert max(h.score for h in hits) >= len(query) - 8
+
+    def test_seed_match_is_strong_filter(self):
+        db, query = self._planted()
+        _, counts = BlastnPipeline(query).search(db)
+        ratios = counts.filter_ratios()
+        assert ratios["seed_match"] < 0.05  # eliminates the vast majority
+
+    def test_no_hits_on_disjoint_alphabet_patterns(self):
+        db = "AC" * 2000
+        query = "GT" * 20
+        hits, counts = BlastnPipeline(query, score_threshold=12).search(db)
+        assert hits == []
+        assert counts.seed_match_out == 0
+
+    def test_repetitive_query_enumerates_multiple(self):
+        db = "A" * 64 + "ACGTACGTACGT" + "C" * 64
+        query = "ACGTACGTACGTACGTACGTACGT"  # the 8-mer repeats in the query
+        pipe = BlastnPipeline(query, score_threshold=8)
+        db_codes = encode_bases(db)
+        pos = pipe.seed_match(db_codes)
+        ps, qs = pipe.seed_enumeration(db_codes, pos)
+        assert len(ps) > len(pos)  # >1 query position per db position
+
+    def test_stage_counts_monotone(self):
+        db, query = self._planted(seed=9)
+        _, c = BlastnPipeline(query).search(db)
+        assert c.seed_match_in >= c.seed_match_out
+        assert c.small_ext_out <= c.seed_enum_out
+        assert c.ungapped_out <= c.small_ext_out
+
+    def test_threshold_monotonicity(self):
+        db, query = self._planted(seed=2)
+        lo_hits, _ = BlastnPipeline(query, score_threshold=10).search(db)
+        hi_hits, _ = BlastnPipeline(query, score_threshold=40).search(db)
+        assert len(hi_hits) <= len(lo_hits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlastnPipeline("ACGTACGTAA", score_threshold=0)
+        with pytest.raises(ValueError):
+            BlastnPipeline("ACGTACGTAA", small_ext_min_len=4)
+
+    def test_accepts_precoded_database(self):
+        db, query = self._planted(seed=7)
+        pipe = BlastnPipeline(query)
+        hits_str, _ = pipe.search(db)
+        hits_arr, _ = pipe.search(encode_bases(db))
+        assert hits_str == hits_arr

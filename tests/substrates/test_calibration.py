@@ -1,0 +1,105 @@
+"""Tests for workload generators and isolated measurement."""
+
+import pytest
+
+from repro.calibration import (
+    ThroughputMeasurement,
+    compressible_text,
+    incompressible_bytes,
+    measure_throughput,
+    measurement_to_stage,
+    random_dna,
+    ratio_ladder_corpus,
+    synthetic_fasta,
+)
+from repro.streaming import StageKind, VolumeRatio
+from repro.substrates.bio import parse_fasta
+from repro.substrates.dataproc import compression_ratio, measure_chunked_ratios
+
+
+class TestWorkloads:
+    def test_random_dna_alphabet(self):
+        seq = random_dna(500, seed=1)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+
+    def test_random_dna_deterministic(self):
+        assert random_dna(100, seed=7) == random_dna(100, seed=7)
+        assert random_dna(100, seed=7) != random_dna(100, seed=8)
+
+    def test_synthetic_fasta_parses(self):
+        text = synthetic_fasta(3, 200, seed=0)
+        recs = parse_fasta(text)
+        assert len(recs) == 3
+        assert all(len(r) == 200 for r in recs)
+
+    def test_planted_query_embedded(self):
+        text = synthetic_fasta(2, 300, seed=0, planted_query="ACGTACGTACGT")
+        recs = parse_fasta(text)
+        assert "ACGTACGTACGT" in recs[0].sequence
+
+    def test_planted_query_too_long(self):
+        with pytest.raises(ValueError):
+            synthetic_fasta(1, 10, planted_query="A" * 20)
+
+    def test_redundancy_controls_ratio(self):
+        lo = compression_ratio(compressible_text(8192, 1, redundancy=0.1))
+        hi = compression_ratio(compressible_text(8192, 1, redundancy=0.9))
+        assert hi > lo
+
+    def test_incompressible_really_is(self):
+        assert compression_ratio(incompressible_bytes(8192, 2)) < 1.1
+
+    def test_ratio_ladder_is_monotone_ish(self):
+        corpus = ratio_ladder_corpus(4096, seed=0)
+        ratios = [compression_ratio(v) for v in corpus.values()]
+        assert ratios[0] < 1.1  # random
+        assert ratios[-1] > 20  # zeros
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_dna(0)
+        with pytest.raises(ValueError):
+            compressible_text(10, redundancy=1.0)
+
+
+class TestMeasurement:
+    def test_measure_simple_kernel(self):
+        calls = []
+
+        def kernel(data: bytes) -> None:
+            calls.append(len(data))
+
+        chunks = [b"x" * 1000, b"y" * 2000]
+        m = measure_throughput("k", kernel, chunks, repeats=2, warmup=1)
+        assert isinstance(m, ThroughputMeasurement)
+        assert m.samples == 2
+        assert m.rate_min <= m.rate_avg <= m.rate_max
+        assert m.chunk_bytes == 1500.0
+        assert len(calls) == 1 + 2 * 2  # warmup + repeats*chunks
+        assert "k:" in m.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_throughput("k", lambda d: None, [])
+        with pytest.raises(ValueError):
+            measure_throughput("k", lambda d: None, [b""])
+
+    def test_measurement_to_stage(self):
+        m = ThroughputMeasurement("kern", 1024.0, 10.0, 20.0, 30.0, 1e-3, 4)
+        s = measurement_to_stage(m, kind=StageKind.NETWORK)
+        assert s.name == "kern"
+        assert s.rate_min == 10.0 and s.rate_max == 30.0
+        assert s.job_bytes == 1024.0
+        assert s.kind == StageKind.NETWORK
+        s2 = measurement_to_stage(
+            m, volume_ratio=VolumeRatio.fixed(0.5), job_bytes=2048.0
+        )
+        assert s2.job_bytes == 2048.0
+        assert s2.volume_ratio.avg == 0.5
+
+    def test_measured_ratios_feed_model(self):
+        data = compressible_text(16384, seed=4, redundancy=0.7)
+        stats = measure_chunked_ratios(data, 1024)
+        vr = stats.as_volume_ratio()
+        assert vr.best <= vr.avg <= vr.worst

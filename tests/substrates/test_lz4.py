@@ -1,0 +1,112 @@
+"""Tests for the LZ4 block codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrates.dataproc import (
+    CorruptBlockError,
+    compress_block,
+    compression_ratio,
+    decompress_block,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            b"abcd" * 100,
+            bytes(range(256)) * 8,
+            bytes(10_000),
+            b"The quick brown fox jumps over the lazy dog. " * 50,
+        ],
+        ids=["empty", "one", "tiny", "runs", "period4", "alphabet", "zeros", "text"],
+    )
+    def test_known_payloads(self, data):
+        assert decompress_block(compress_block(data), len(data)) == data
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_arbitrary_bytes(self, data):
+        assert decompress_block(compress_block(data), len(data)) == data
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=32),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_repeated_patterns_compress(self, pattern, reps):
+        data = pattern * reps
+        comp = compress_block(data)
+        assert decompress_block(comp, len(data)) == data
+        if len(data) > 200:
+            assert len(comp) < len(data)
+
+    def test_long_match_length_extension(self):
+        # forces the 255-extension encoding of match lengths
+        data = b"x" * 5000
+        comp = compress_block(data)
+        assert len(comp) < 64
+        assert decompress_block(comp, len(data)) == data
+
+    def test_long_literal_extension(self):
+        import random
+
+        random.seed(0)
+        data = bytes(random.randrange(256) for _ in range(1000))
+        comp = compress_block(data)
+        assert decompress_block(comp, len(data)) == data
+        # incompressible: literal-only with extension bytes
+        assert len(comp) >= len(data)
+
+
+class TestRatio:
+    def test_ratio_of_empty(self):
+        assert compression_ratio(b"") == 1.0
+
+    def test_ratio_ordering(self):
+        from repro.calibration import compressible_text, incompressible_bytes
+
+        low = compression_ratio(incompressible_bytes(4096, 0))
+        high = compression_ratio(compressible_text(4096, 0, redundancy=0.9))
+        assert low < 1.1
+        assert high > 2.0
+
+
+class TestCorruption:
+    def test_empty_block_rejected(self):
+        with pytest.raises(CorruptBlockError):
+            decompress_block(b"", 100)
+
+    def test_truncated_literals(self):
+        with pytest.raises(CorruptBlockError, match="literal"):
+            decompress_block(bytes([0x50]) + b"ab", 100)  # claims 5 literals
+
+    def test_bad_offset(self):
+        # token: 1 literal + match; offset 0 is invalid
+        block = bytes([0x10]) + b"a" + (0).to_bytes(2, "little")
+        with pytest.raises(CorruptBlockError, match="offset"):
+            decompress_block(block, 100)
+
+    def test_offset_past_start(self):
+        block = bytes([0x10]) + b"a" + (9).to_bytes(2, "little")
+        with pytest.raises(CorruptBlockError, match="offset"):
+            decompress_block(block, 100)
+
+    def test_output_cap_enforced(self):
+        data = b"abc" * 100
+        comp = compress_block(data)
+        with pytest.raises(CorruptBlockError, match="max_size"):
+            decompress_block(comp, 10)
+        with pytest.raises(ValueError):
+            decompress_block(comp, -1)
+
+    def test_truncated_offset(self):
+        block = bytes([0x11]) + b"a" + b"\x01"  # only 1 offset byte
+        with pytest.raises(CorruptBlockError, match="truncated"):
+            decompress_block(block, 100)

@@ -1,0 +1,100 @@
+"""Tests for the link substrate: FIFO, TCP, PCIe."""
+
+import pytest
+
+from repro.substrates.net import (
+    ETH_IP_TCP_OVERHEAD,
+    PCIE_GT_PER_S,
+    PcieLink,
+    StreamFifo,
+    TcpLink,
+)
+from repro.units import GiB, KiB, MiB
+
+
+class TestStreamFifo:
+    def test_rate_and_capacity(self):
+        f = StreamFifo("axis", width_bytes=64, depth_words=512, clock_hz=300e6)
+        assert f.rate == 64 * 300e6
+        assert f.capacity_bytes == 64 * 512
+        assert f.fill_latency == pytest.approx(512 / 300e6)
+
+    def test_service_curve(self):
+        f = StreamFifo("axis", 32, 128, 200e6)
+        assert f.service_curve().final_slope == pytest.approx(f.rate)
+
+    def test_as_stage(self):
+        s = StreamFifo("axis", 64, 512, 300e6).as_stage()
+        assert s.rate_min == s.rate_max == 64 * 300e6
+        assert s.job_bytes == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamFifo("x", 0, 1, 1e6)
+
+
+class TestTcpLink:
+    def test_line_limited(self):
+        t = TcpLink("t", line_rate=1.25e9, rtt=1e-3, window_bytes=8 * MiB)
+        assert t.effective_rate == pytest.approx(1.25e9 * t.goodput_fraction)
+        assert t.goodput_fraction == pytest.approx(1460 / (1460 + ETH_IP_TCP_OVERHEAD))
+
+    def test_window_limited(self):
+        t = TcpLink("t", line_rate=12.5e9, rtt=10e-3, window_bytes=64 * KiB)
+        assert t.effective_rate == pytest.approx(64 * KiB / 10e-3)
+        assert t.window_limit < t.line_rate * t.goodput_fraction
+
+    def test_transfer_time(self):
+        t = TcpLink("t", line_rate=1e9, rtt=2e-3, window_bytes=64 * MiB)
+        dt = t.transfer_time(1e6)
+        assert dt == pytest.approx(1e-3 + 1e6 / t.effective_rate)
+        with pytest.raises(ValueError):
+            t.transfer_time(0.0)
+
+    def test_service_curve_and_stage(self):
+        t = TcpLink("t", line_rate=1e9, rtt=2e-3, window_bytes=64 * MiB)
+        beta = t.service_curve()
+        assert beta(t.latency) == 0.0
+        assert beta.final_slope == pytest.approx(t.effective_rate)
+        assert t.as_stage().kind.value == "network"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpLink("t", line_rate=0.0, rtt=1e-3, window_bytes=1.0)
+
+
+class TestPcieLink:
+    def test_gen3_encoding(self):
+        p = PcieLink("p", gen=3, lanes=16)
+        assert p.encoding_efficiency == pytest.approx(128 / 130)
+        # raw ~15.75 GB/s for gen3 x16
+        assert p.raw_rate == pytest.approx(8e9 * (128 / 130) / 8 * 16)
+        assert p.effective_rate < p.raw_rate
+
+    def test_gen1_uses_8b10b(self):
+        p = PcieLink("p", gen=1, lanes=4)
+        assert p.encoding_efficiency == 0.8
+
+    def test_larger_payload_more_efficient(self):
+        small = PcieLink("p", gen=4, lanes=8, mps=128.0)
+        large = PcieLink("p", gen=4, lanes=8, mps=512.0)
+        assert large.effective_rate > small.effective_rate
+
+    def test_lanes_scale_linearly(self):
+        r4 = PcieLink("p", gen=3, lanes=4).effective_rate
+        r8 = PcieLink("p", gen=3, lanes=8).effective_rate
+        assert r8 == pytest.approx(2 * r4)
+
+    def test_transfer_time_and_stage(self):
+        p = PcieLink("p", gen=3, lanes=16, latency=1e-6)
+        assert p.transfer_time(1e6) == pytest.approx(1e-6 + 1e6 / p.effective_rate)
+        st = p.as_stage()
+        assert st.kind.value == "pcie"
+        assert st.job_bytes == p.mps
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="generation"):
+            PcieLink("p", gen=7, lanes=4)
+        with pytest.raises(ValueError, match="lane"):
+            PcieLink("p", gen=3, lanes=3)
+        assert 5 in PCIE_GT_PER_S

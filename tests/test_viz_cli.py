@@ -1,0 +1,158 @@
+"""Tests for visualization, CSV export, figure builders, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.units import MiB
+from repro.viz import ascii_plot, figure1, figure4, figure10, series_to_csv, write_series_csv
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            {"line": ([0, 1, 2], [0, 1, 4])},
+            width=20,
+            height=6,
+            title="t",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert "t" in out
+        assert "* line" in out
+        assert "x: [0, 2] x" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_plot({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=20, height=5)
+        assert "* a" in out and "o b" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, width=20, height=5)
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0], [0])}, width=5, height=2)
+
+    def test_flat_series_ok(self):
+        out = ascii_plot({"flat": ([0, 1], [3, 3])}, width=20, height=5)
+        assert "flat" in out
+
+
+class TestCsv:
+    def test_long_format(self):
+        csv = series_to_csv({"s": ([0.0, 1.0], [2.0, 3.0])})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert lines[1].startswith("s,0.0,")
+        assert len(lines) == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"s": ([0.0], [1.0, 2.0])})
+
+    def test_write(self, tmp_path):
+        p = write_series_csv({"s": ([0.0], [1.0])}, tmp_path / "out.csv")
+        assert p.read_text().startswith("series,x,y")
+
+
+class TestFigures:
+    def test_figure1_annotations(self):
+        fig = figure1()
+        assert fig.annotations["virtual_delay_d"] == pytest.approx(0.05 + 8 / 150)
+        assert fig.annotations["backlog_x"] == pytest.approx(8 + 100 * 0.05)
+        assert set(fig.series) == {"alpha", "beta", "gamma", "alpha*"}
+        text = fig.ascii(width=40, height=8)
+        assert "annotations:" in text
+
+    def test_figure4_sandwich(self):
+        fig = figure4(workload=64 * MiB)
+        sim_t, sim_y = fig.series["simulation"]
+        a = np.interp(sim_t, *fig.series["alpha(t)"])
+        b = np.interp(sim_t, *fig.series["beta'(t)"])
+        assert np.all(sim_y <= a * 1.001 + 0.1)
+        assert np.all(sim_y >= b * 0.999 - 0.1)
+
+    def test_figure10_sandwich(self):
+        fig = figure10(workload=1 * MiB)
+        sim_t, sim_y = fig.series["simulation"]
+        a = np.interp(sim_t, *fig.series["alpha(t)"])
+        b = np.interp(sim_t, *fig.series["beta'(t)"])
+        assert np.all(sim_y <= a * 1.001 + 0.01)
+        assert np.all(sim_y >= b * 0.999 - 0.01)
+
+    def test_figure_csv_round_trip(self, tmp_path):
+        fig = figure1()
+        path = fig.write_csv(tmp_path / "fig1.csv")
+        assert path.exists()
+        assert "alpha" in path.read_text()
+
+
+class TestCli:
+    def test_analyze(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "bitw"]) == 0
+        out = capsys.readouterr().out
+        assert "network calculus analysis" in out
+        assert "313 MiB/s" in out
+
+    def test_simulate(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "bitw", "--workload-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "observed virtual delay" in out
+
+    def test_reproduce_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "paper" in out
+
+    def test_reproduce_figure_with_csv(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["reproduce", "fig1", "--csv-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert (tmp_path / "fig1.csv").exists()
+
+    def test_buffers(self, capsys):
+        from repro.cli import main
+
+        assert main(["buffers", "bitw"]) == 0
+        assert "buffer plan" in capsys.readouterr().out
+
+    def test_bad_command(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestCliModelFiles:
+    def test_export_and_analyze_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bitw.json"
+        assert main(["export", "bitw", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "file", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bump-in-the-wire" in out
+
+    def test_simulate_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bitw.json"
+        main(["export", "bitw", str(path)])
+        capsys.readouterr()
+        assert main(["simulate", "file", "--file", str(path), "--workload-mib", "0.5"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_file_requires_path(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["analyze", "file"])
