@@ -1,0 +1,119 @@
+"""Sweep-engine benchmark: parallel speedup and cache effectiveness.
+
+Runs the same >= 24-point BLAST design-space grid three ways —
+
+* serial (``jobs=1``),
+* parallel (``jobs=min(4, cpu_count)``),
+* cached rerun (warm content-addressed cache) —
+
+asserts the three produce identical results (modulo timings), and
+writes machine-readable timings to ``BENCH_sweep.json`` so the perf
+trajectory across PRs has a baseline.
+
+Run as a script for the full benchmark (DES per point, ~seconds):
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+
+Under pytest, a scaled-down grid keeps the invariants covered without
+the wall-clock cost.  The >= 2x parallel-speedup assertion only arms on
+machines with >= 4 cores (single-core CI boxes can't exhibit it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.apps.blast import blast_pipeline
+from repro.sweep import Axis, ResultCache, SweepSpec, run_sweep
+from repro.units import MiB
+
+
+def _grid_spec(workload_mib: float, simulate: bool) -> SweepSpec:
+    """A 24-point grid: GPU-filter scaling x network scaling x source pacing."""
+    return SweepSpec.from_pipeline(
+        blast_pipeline(),
+        [
+            Axis("scale:ungapped_ext", (1.0, 1.25, 1.5, 2.0)),
+            Axis("scale:network", (0.5, 1.0, 2.0)),
+            Axis("source_rate_scale", (0.75, 1.0)),
+        ],
+        simulate=simulate,
+        workload=workload_mib * MiB,
+    )
+
+
+def run_benchmark(workload_mib: float = 256.0, jobs: int | None = None) -> dict:
+    """Execute the three-way benchmark and return the timing record."""
+    jobs = jobs if jobs is not None else min(4, os.cpu_count() or 1)
+    spec = _grid_spec(workload_mib, simulate=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+
+        t0 = time.perf_counter()
+        serial = run_sweep(spec, jobs=1)
+        t_serial = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = run_sweep(spec, jobs=jobs, cache=cache)
+        t_parallel = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cached = run_sweep(spec, jobs=jobs, cache=cache)
+        t_cached = time.perf_counter() - t0
+
+    assert serial.comparable() == parallel.comparable(), "serial != parallel"
+    assert serial.comparable() == cached.comparable(), "serial != cached"
+    assert not serial.errors
+    assert cached.cache_hits == spec.n_points, "warm run must skip all recomputation"
+    assert cached.cache_misses == 0
+
+    return {
+        "bench": "sweep",
+        "version": __version__,
+        "n_points": spec.n_points,
+        "workload_mib": workload_mib,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "cached_s": t_cached,
+        "speedup_parallel": t_serial / t_parallel if t_parallel > 0 else None,
+        "speedup_cached": t_serial / t_cached if t_cached > 0 else None,
+        "parallel_mode": parallel.mode,
+    }
+
+
+def test_sweep_modes_agree():
+    """Tier-2 guard: the three execution modes agree on a small grid."""
+    record = run_benchmark(workload_mib=4.0, jobs=2)
+    assert record["n_points"] >= 24
+    assert record["cached_s"] < record["serial_s"], "warm cache must beat recompute"
+
+
+def main() -> None:
+    record = run_benchmark()
+    out = Path(__file__).parent / "BENCH_sweep.json"
+    out.write_text(json.dumps(record, indent=1) + "\n")
+    print(json.dumps(record, indent=1))
+    print(f"\n[written to {out}]")
+    if (os.cpu_count() or 1) >= 4:
+        assert record["speedup_parallel"] >= 2.0, (
+            f"expected >= 2x parallel speedup on {os.cpu_count()} cores, "
+            f"got {record['speedup_parallel']:.2f}x"
+        )
+        print(f"parallel speedup {record['speedup_parallel']:.2f}x (>= 2x OK)")
+    else:
+        print(
+            f"parallel speedup {record['speedup_parallel']:.2f}x "
+            f"({os.cpu_count()} core(s): >= 2x assertion not armed)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,12 @@ from .nc import (
     rate_latency,
 )
 
-__version__ = "1.0.0"
+try:  # single source of truth: the installed package metadata
+    from importlib.metadata import PackageNotFoundError, version as _pkg_version
+
+    __version__ = _pkg_version("repro")
+except PackageNotFoundError:  # running from a source tree (PYTHONPATH=src)
+    __version__ = "1.0.0"
 
 __all__ = [
     "Curve",

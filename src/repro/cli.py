@@ -12,7 +12,11 @@ Commands
 ``repro buffers {blast,bitw}``
     print the analytic buffer-allocation plan;
 ``repro export {blast,bitw} model.json`` / ``repro analyze file --file model.json``
-    round-trip pipeline models through JSON.
+    round-trip pipeline models through JSON;
+``repro sweep {blast,bitw,file} --grid AXIS=VALUES ...``
+    evaluate a parameter grid of pipeline variants, optionally in
+    parallel (``--jobs N``), with a content-addressed result cache
+    (``--cache-dir D``) and JSON/CSV artifacts (``--out D``).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from . import __version__
 from .units import MiB
 
 __all__ = ["main", "build_parser"]
@@ -32,6 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Network-calculus models for heterogeneous streaming applications",
+    )
+    p.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -59,6 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     pb = sub.add_parser("buffers", help="analytic buffer-allocation plan")
     pb.add_argument("app", choices=["blast", "bitw"])
     pb.add_argument("--margin", type=float, default=0.25)
+
+    pw = sub.add_parser("sweep", help="design-space sweep over a parameter grid")
+    pw.add_argument("app", choices=["blast", "bitw", "file"])
+    pw.add_argument("--file", type=Path, default=None, help="pipeline model JSON (with app=file)")
+    pw.add_argument(
+        "--grid",
+        action="append",
+        required=True,
+        metavar="AXIS=VALUES",
+        help="axis spec, e.g. scale:network=0.5,1,2 or workload_mib=16:64:4 "
+        "(repeat for a multi-axis grid)",
+    )
+    pw.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    pw.add_argument("--cache-dir", type=Path, default=None, help="content-addressed result cache")
+    pw.add_argument("--out", type=Path, default=None, help="write results.{json,csv} + manifest.json here")
+    pw.add_argument("--simulate", action="store_true", help="also run the DES validation per point")
+    pw.add_argument("--workload-mib", type=float, default=None, help="workload per point in MiB")
+    pw.add_argument("--seed", type=int, default=42, help="base seed for per-point DES seeds")
+    pw.add_argument("--packetized", action="store_true", help="use packetized service curves")
     return p
 
 
@@ -78,11 +105,24 @@ def _require_file(args: argparse.Namespace) -> "Path":
     return args.file
 
 
+def _load_model_file(path: Path):
+    """Load a pipeline model JSON, turning malformed input into a clean
+    CLI error instead of a traceback."""
+    from .streaming import load_pipeline
+
+    try:
+        return load_pipeline(path)
+    except FileNotFoundError:
+        raise SystemExit(f"model file not found: {path}")
+    except ValueError as exc:
+        raise SystemExit(f"invalid model file {path}: {exc}")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> str:
     if args.app == "file":
-        from .streaming import analyze, load_pipeline
+        from .streaming import analyze
 
-        return analyze(load_pipeline(_require_file(args)), packetized=False).summary()
+        return analyze(_load_model_file(_require_file(args)), packetized=False).summary()
     if args.app == "blast":
         from .apps.blast import blast_analysis
 
@@ -94,10 +134,10 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
 
 def _cmd_simulate(args: argparse.Namespace) -> str:
     if args.app == "file":
-        from .streaming import load_pipeline, simulate
+        from .streaming import simulate
 
         workload = (args.workload_mib or 64.0) * MiB
-        rep = simulate(load_pipeline(_require_file(args)), workload=workload, seed=args.seed)
+        rep = simulate(_load_model_file(_require_file(args)), workload=workload, seed=args.seed)
     elif args.app == "blast":
         from .apps.blast import blast_simulation
 
@@ -153,6 +193,62 @@ def _cmd_export(args: argparse.Namespace) -> str:
     return f"model written to {path}"
 
 
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from .sweep import (
+        ResultCache,
+        SweepPoint,
+        SweepSpec,
+        parse_grid_arg,
+        run_sweep,
+        write_artifacts,
+    )
+    from .units import format_rate, format_seconds
+
+    if args.app == "file":
+        pipe = _load_model_file(_require_file(args))
+    else:
+        pipe = _pipeline_for(args.app)
+    try:
+        axes = [parse_grid_arg(g) for g in args.grid]
+        spec = SweepSpec.from_pipeline(
+            pipe,
+            axes,
+            simulate=args.simulate,
+            packetized=args.packetized,
+            workload=(args.workload_mib * MiB) if args.workload_mib else None,
+            base_seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    result = run_sweep(spec, jobs=args.jobs, cache=cache)
+
+    lines = [result.summary(), "", "points:"]
+    for r in result.results:
+        label = SweepPoint(r.index, r.params).label() or "(base)"
+        if r.error is not None:
+            lines.append(f"  [{r.index:>3}] {label:<48} ERROR {r.error}")
+            continue
+        row = (
+            f"  [{r.index:>3}] {label:<48} "
+            f"lb {format_rate(r.nc['throughput_lower_bound']):>14}  "
+            f"d<= {format_seconds(r.nc['delay_bound']):>10}"
+        )
+        if r.des is not None:
+            row += f"  des {format_rate(r.des['throughput']):>14}"
+        if r.cached:
+            row += "  (cached)"
+        lines.append(row)
+    if result.errors:
+        lines.append(f"\n{len(result.errors)} point(s) failed")
+    if args.out is not None:
+        paths = write_artifacts(result, spec, args.out)
+        lines.append("\nartifacts: " + ", ".join(str(p) for p in paths.values()))
+    return "\n".join(lines)
+
+
 def _cmd_buffers(args: argparse.Namespace) -> str:
     from .streaming import size_buffers
 
@@ -170,6 +266,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "buffers": _cmd_buffers,
         "export": _cmd_export,
+        "sweep": _cmd_sweep,
     }[args.command]
     print(handler(args))
     return 0

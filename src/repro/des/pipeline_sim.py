@@ -317,9 +317,18 @@ class PipelineSimulation:
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimulationReport:
-        """Execute the simulation to completion and collect the report."""
+        """Execute the simulation to completion and collect the report.
+
+        Every stage (and the source) draws from its own RNG stream,
+        spawned from the single seed via ``SeedSequence``: one stage's
+        draw count cannot perturb another's sequence, so a stage's
+        per-job times are a function of ``(seed, stage index)`` alone —
+        the determinism guarantee the validation experiments rely on.
+        """
         env = Environment()
-        rng = np.random.default_rng(self.seed)
+        streams = np.random.SeedSequence(self.seed).spawn(len(self.stages) + 1)
+        source_rng = np.random.default_rng(streams[0])
+        stage_rngs = [np.random.default_rng(s) for s in streams[1:]]
 
         queues = [
             ByteQueue(env, stage.queue_bytes, name=f"q->{stage.name}")
@@ -350,7 +359,7 @@ class PipelineSimulation:
                 burst_left -= p
             while sent < self.workload * (1 - 1e-12):
                 if self.interarrival is not None:
-                    gap = self.interarrival(rng)
+                    gap = self.interarrival(source_rng)
                 else:
                     gap = self.source_packet / self.source_rate
                 yield env.timeout(gap)
@@ -364,6 +373,7 @@ class PipelineSimulation:
 
         def stage_proc(i: int):
             stage = self.stages[i]
+            rng = stage_rngs[i]
             in_q = queues[i]
             out_q = queues[i + 1] if i + 1 < len(queues) else None
             started = False

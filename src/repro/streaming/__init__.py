@@ -39,6 +39,7 @@ from .whatif import (
     bottleneck_ladder,
     compare,
     downgrade_stage,
+    upgrade_grid,
     upgrade_stage,
 )
 
@@ -75,5 +76,6 @@ __all__ = [
     "bottleneck_ladder",
     "compare",
     "downgrade_stage",
+    "upgrade_grid",
     "upgrade_stage",
 ]

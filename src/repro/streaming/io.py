@@ -142,5 +142,18 @@ def save_pipeline(pipeline: Pipeline, path: "str | Path") -> Path:
 
 
 def load_pipeline(path: "str | Path") -> Pipeline:
-    """Read a pipeline model written by :func:`save_pipeline`."""
-    return pipeline_from_dict(json.loads(Path(path).read_text()))
+    """Read a pipeline model written by :func:`save_pipeline`.
+
+    Malformed JSON raises ``ValueError`` (with the decode position),
+    like every other schema violation — callers need one except clause.
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"pipeline document must be a JSON object, got {type(data).__name__}"
+        )
+    return pipeline_from_dict(data)

@@ -10,19 +10,34 @@ design changes".  This module makes that workflow first-class:
 * :func:`bottleneck_ladder` — repeatedly upgrade the current bottleneck
   and report how far each upgrade moves the guaranteed rate (where the
   next bottleneck takes over), the developer-attention list the paper's
-  intro motivates.
+  intro motivates;
+* :func:`upgrade_grid` — the grid generalisation: evaluate *every*
+  combination of candidate stage upgrades through the
+  :mod:`repro.sweep` engine (parallel workers, content-addressed result
+  cache), for design spaces too large to compare one pair at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
 
 from .._validation import check_positive
 from ..units import format_rate, format_seconds
 from .analysis import AnalysisReport, analyze
 from .pipeline import Pipeline
 
-__all__ = ["WhatIfReport", "upgrade_stage", "downgrade_stage", "compare", "bottleneck_ladder"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sweep import ResultCache, SweepResult
+
+__all__ = [
+    "WhatIfReport",
+    "upgrade_stage",
+    "downgrade_stage",
+    "compare",
+    "bottleneck_ladder",
+    "upgrade_grid",
+]
 
 
 def upgrade_stage(pipeline: Pipeline, name: str, factor: float) -> Pipeline:
@@ -130,3 +145,42 @@ def bottleneck_ladder(
         )
         current = upgraded
     return reports
+
+
+def upgrade_grid(
+    pipeline: Pipeline,
+    stages: Sequence[str],
+    factors: Sequence[float],
+    *,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    simulate: bool = False,
+    workload: float | None = None,
+    packetized: bool = False,
+    base_seed: int = 42,
+) -> "SweepResult":
+    """Evaluate every combination of stage-rate upgrades as a sweep.
+
+    Where :func:`compare` analyzes one candidate and
+    :func:`bottleneck_ladder` walks a single greedy path, this
+    enumerates the full ``len(factors) ** len(stages)`` grid through
+    :func:`repro.sweep.run_sweep` — so candidates evaluate on worker
+    processes when ``jobs > 1``, results are cached across runs when a
+    ``cache`` is given, and ``simulate=True`` adds the DES validation
+    per point.  Returns the :class:`~repro.sweep.SweepResult`, whose
+    ``results[i].nc`` rows hold the bound movements.
+    """
+    # local import: repro.sweep builds on repro.streaming, not vice versa
+    from ..sweep import Axis, SweepSpec, run_sweep
+
+    if not stages:
+        raise ValueError("need at least one stage to sweep")
+    spec = SweepSpec.from_pipeline(
+        pipeline,
+        [Axis(f"scale:{name}", tuple(factors)) for name in stages],
+        simulate=simulate,
+        packetized=packetized,
+        workload=workload,
+        base_seed=base_seed,
+    )
+    return run_sweep(spec, jobs=jobs, cache=cache)

@@ -1,0 +1,94 @@
+"""Content-addressed cache for sweep point results.
+
+A point's result depends on exactly three things: the base pipeline
+model (its JSON document), the point's parameters + evaluation options,
+and the code that computed it.  The cache key is a SHA-256 over the
+canonical JSON of all three, the last represented by a version salt —
+bump :data:`CACHE_SCHEMA_VERSION` whenever the result schema or the
+underlying numerics change, and stale entries simply stop matching.
+
+Entries are one JSON file each under ``<dir>/<key[:2]>/<key>.json``
+(two-level fan-out keeps directories small).  Reads tolerate missing or
+corrupt files (treated as a miss); writes are atomic (temp file +
+rename) so a crashed or parallel run never leaves a truncated entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from .. import __version__
+
+__all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "point_key", "ResultCache"]
+
+#: bump to invalidate every existing cache entry
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON rendering: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+def point_key(
+    model: Mapping[str, Any],
+    params: Mapping[str, Any],
+    options: Mapping[str, Any],
+    *,
+    salt: str | None = None,
+) -> str:
+    """The content address of one (model, point, options) evaluation."""
+    payload = {
+        "model": model,
+        "params": params,
+        "options": options,
+        "salt": salt if salt is not None else f"repro-{__version__}-schema-{CACHE_SCHEMA_VERSION}",
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed content-addressed store of point results."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses — the cache is an
+        accelerator, never a source of errors.
+        """
+        path = self._path(key)
+        try:
+            result = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(result, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Mapping[str, Any]) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(dict(result), indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))

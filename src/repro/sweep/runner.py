@@ -1,0 +1,310 @@
+"""Sweep execution: evaluate every grid point, in parallel when asked.
+
+Each point runs the network-calculus analysis (and, when the spec says
+so, the DES validation) of its pipeline variant.  Evaluation is a pure
+function of JSON-able inputs — ``(model document, params, options,
+seed)`` — which buys three properties at once:
+
+* points pickle cleanly into a :mod:`multiprocessing` pool;
+* results are content-addressable (see :mod:`repro.sweep.cache`);
+* serial, parallel, and cached runs produce identical results.
+
+Per-point seeds derive from the spec's base seed and the point's
+parameters via SHA-256, so they are stable across runs, processes, and
+grid reorderings — adding an axis does not reshuffle existing points'
+draws.
+
+Worker-pool failures degrade gracefully: if the pool cannot be created
+or dies mid-sweep, the remaining points run serially in-process and the
+manifest records the degradation instead of the run failing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..units import MiB
+from .cache import ResultCache, canonical_json, point_key
+from .spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "DEFAULT_SIM_WORKLOAD",
+    "PointResult",
+    "SweepResult",
+    "point_seed",
+    "evaluate_point",
+    "run_sweep",
+]
+
+#: DES workload used when the spec enables simulation but fixes no volume
+DEFAULT_SIM_WORKLOAD = 64 * MiB
+
+
+def point_seed(base_seed: int, params: Mapping[str, Any]) -> int:
+    """Deterministic per-point RNG seed.
+
+    Derived from the base seed and the point's parameter assignment
+    (not its grid index), so a point keeps its seed when axes are
+    added, removed, or reordered.
+    """
+    digest = hashlib.sha256(
+        canonical_json({"base_seed": base_seed, "params": params}).encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _options_dict(spec: SweepSpec) -> dict[str, Any]:
+    """The evaluation options that (with model + params) address a result."""
+    return {
+        "simulate": spec.simulate,
+        "packetized": spec.packetized,
+        "workload": spec.workload,
+        "base_seed": spec.base_seed,
+    }
+
+
+def evaluate_point(
+    model: Mapping[str, Any],
+    params: Mapping[str, Any],
+    options: Mapping[str, Any],
+    seed: int,
+) -> dict[str, Any]:
+    """Evaluate one grid point; pure function of JSON-able inputs.
+
+    Returns a JSON-able dict with ``nc`` (always), ``des`` (when
+    simulation is enabled), and ``elapsed`` (compute seconds).  Errors
+    are captured per point (``{"error": ...}``) so one pathological
+    variant cannot abort a whole sweep.
+    """
+    t0 = time.perf_counter()
+    try:
+        from ..streaming import analyze, simulate
+
+        spec = SweepSpec(
+            base=dict(model),
+            axes=(),
+            simulate=bool(options["simulate"]),
+            packetized=bool(options["packetized"]),
+            workload=options["workload"],
+            base_seed=int(options["base_seed"]),
+        )
+        applied = spec.apply_point(SweepPoint(0, dict(params)))
+        report = analyze(
+            applied.pipeline,
+            packetized=spec.packetized,
+            workload=applied.workload,
+        )
+        nc = {
+            "throughput_lower_bound": report.throughput_lower_bound,
+            "throughput_upper_bound": report.throughput_upper_bound,
+            "bottleneck": report.bottleneck,
+            "stable": report.stable,
+            "delay_bound": report.delay_bound,
+            "backlog_bound": report.backlog_bound,
+            "total_latency": report.total_latency,
+            "effective_burst": report.effective_burst,
+            "queueing_prediction": report.queueing_prediction,
+            "delay_bound_workload": report.delay_bound_workload,
+            "backlog_bound_workload": report.backlog_bound_workload,
+        }
+        des = None
+        if spec.simulate:
+            rep = simulate(
+                applied.pipeline,
+                workload=applied.workload or DEFAULT_SIM_WORKLOAD,
+                seed=seed,
+                queue_bytes=dict(applied.queue_bytes) or None,
+                scenario=applied.scenario,
+            )
+            vd = rep.observed_virtual_delays(skip_initial_fraction=0.15)
+            des = {
+                "throughput": rep.throughput,
+                "steady_state_throughput": rep.steady_state_throughput,
+                "makespan": rep.makespan,
+                "output_bytes": rep.output_bytes,
+                "max_backlog_bytes": rep.max_backlog_bytes,
+                "virtual_delay_min": vd.min,
+                "virtual_delay_max": vd.max,
+                "bottleneck": rep.bottleneck().name,
+            }
+        return {"nc": nc, "des": des, "elapsed": time.perf_counter() - t0}
+    except Exception as exc:  # noqa: BLE001 - per-point isolation
+        return {"error": f"{type(exc).__name__}: {exc}", "elapsed": time.perf_counter() - t0}
+
+
+def _evaluate_payload(payload: tuple[Mapping[str, Any], Mapping[str, Any], Mapping[str, Any], int]) -> dict[str, Any]:
+    """Pool entry point (module-level so it pickles)."""
+    model, params, options, seed = payload
+    return evaluate_point(model, params, options, seed)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one grid point."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+    key: str
+    cached: bool
+    elapsed: float
+    nc: Mapping[str, Any] | None
+    des: Mapping[str, Any] | None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (artifact-store row)."""
+        return {
+            "index": self.index,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "key": self.key,
+            "cached": self.cached,
+            "elapsed": self.elapsed,
+            "nc": dict(self.nc) if self.nc is not None else None,
+            "des": dict(self.des) if self.des is not None else None,
+            "error": self.error,
+        }
+
+    def comparable(self) -> dict[str, Any]:
+        """Everything that must match across serial/parallel/cached runs
+        (drops timings and cache provenance)."""
+        d = self.to_dict()
+        d.pop("elapsed")
+        d.pop("cached")
+        return d
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: every point result plus run-level accounting."""
+
+    pipeline_name: str
+    n_points: int
+    jobs: int
+    mode: str  # "serial" | "parallel" | "parallel-degraded"
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+    results: list[PointResult] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[PointResult]:
+        """Points that failed to evaluate."""
+        return [r for r in self.results if r.error is not None]
+
+    def comparable(self) -> list[dict[str, Any]]:
+        """Run-invariant view for cross-mode identity checks."""
+        return [r.comparable() for r in self.results]
+
+    def summary(self) -> str:
+        """Human-readable run accounting."""
+        compute = sum(r.elapsed for r in self.results if not r.cached)
+        lines = [
+            f"== sweep: {self.pipeline_name} ==",
+            f"points             {self.n_points}",
+            f"mode               {self.mode} (jobs={self.jobs})",
+            f"wall time          {self.elapsed:.3f} s",
+            f"compute time       {compute:.3f} s (sum over evaluated points)",
+            f"cache              {self.cache_hits} hits / {self.cache_misses} misses",
+        ]
+        if self.errors:
+            lines.append(f"errors             {len(self.errors)} points failed")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[PointResult], None] | None = None,
+) -> SweepResult:
+    """Evaluate every point of ``spec``.
+
+    ``jobs > 1`` evaluates cache misses on a :mod:`multiprocessing`
+    pool; any pool failure falls back to serial evaluation of the
+    remaining points (recorded as mode ``parallel-degraded``).  Cached
+    points never hit the pool.  Results come back in grid order
+    regardless of completion order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    t0 = time.perf_counter()
+    options = _options_dict(spec)
+    model = dict(spec.base)
+    points = list(spec.points())
+
+    seeds = [point_seed(spec.base_seed, p.params) for p in points]
+    keys = [point_key(model, p.params, options) for p in points]
+
+    raw: dict[int, dict[str, Any]] = {}
+    cached_flags: dict[int, bool] = {}
+    pending: list[int] = []
+    for p, key in zip(points, keys):
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            raw[p.index] = hit
+            cached_flags[p.index] = True
+        else:
+            pending.append(p.index)
+            cached_flags[p.index] = False
+
+    mode = "serial"
+    if pending and jobs > 1:
+        mode = "parallel"
+        payloads = [(model, points[i].params, options, seeds[i]) for i in pending]
+        try:
+            import multiprocessing as mp
+
+            with mp.Pool(processes=min(jobs, len(pending))) as pool:
+                for i, out in zip(pending, pool.map(_evaluate_payload, payloads)):
+                    raw[i] = out
+        except Exception:  # pool creation or transport failure
+            mode = "parallel-degraded"
+            for i in pending:
+                if i not in raw:
+                    raw[i] = evaluate_point(model, points[i].params, options, seeds[i])
+    else:
+        for i in pending:
+            raw[i] = evaluate_point(model, points[i].params, options, seeds[i])
+
+    results: list[PointResult] = []
+    hits = misses = 0
+    for p, seed, key in zip(points, seeds, keys):
+        out = raw[p.index]
+        cached = cached_flags[p.index]
+        if cached:
+            hits += 1
+        else:
+            misses += 1
+            if cache is not None and "error" not in out:
+                cache.put(key, out)
+        result = PointResult(
+            index=p.index,
+            params=dict(p.params),
+            seed=seed,
+            key=key,
+            cached=cached,
+            elapsed=float(out.get("elapsed", 0.0)),
+            nc=out.get("nc"),
+            des=out.get("des"),
+            error=out.get("error"),
+        )
+        results.append(result)
+        if progress is not None:
+            progress(result)
+
+    return SweepResult(
+        pipeline_name=str(spec.base.get("name", "?")),
+        n_points=len(points),
+        jobs=jobs,
+        mode=mode,
+        elapsed=time.perf_counter() - t0,
+        cache_hits=hits,
+        cache_misses=misses,
+        results=results,
+    )

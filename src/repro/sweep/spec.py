@@ -1,0 +1,267 @@
+"""Parameter-grid specifications for design-space sweeps.
+
+A sweep enumerates *variants* of a measured pipeline — scaled stage
+rates (candidate hardware upgrades), job-ratio changes (batching
+granularity), compression scenarios, source pacing/burst, simulation
+buffer bounds, and workload sizes — and evaluates each point with the
+network-calculus analysis (and optionally the DES validation).
+
+An :class:`Axis` is one named parameter with an ordered list of values;
+a :class:`SweepSpec` is a base pipeline plus axes, enumerated as the
+full cartesian product in deterministic (row-major) order.
+
+Axis names form a small, closed vocabulary so points stay JSON-able and
+cache keys stay stable:
+
+``scale:<stage>``
+    multiply the named stage's min/avg/max rates (and, inversely, its
+    measured per-job execution-time overrides) by the value;
+``job_scale:<stage>``
+    multiply the named stage's aggregated job size (job-ratio study);
+``queue_mib:<stage>``
+    bound the named stage's input queue (MiB) in the DES run
+    (backpressure / buffer-sizing study; NC analysis is unaffected);
+``source_rate_scale`` / ``source_burst_mib``
+    scale the source's sustained rate / set its burst (MiB);
+``scenario``
+    fix the data scenario (``worst``/``avg``/``best``) the DES run
+    lives in (compression-ratio exploration);
+``workload_mib``
+    input-referred volume (MiB) for the DES run and the finite-workload
+    bounds.
+
+Grid strings (the CLI's ``--grid`` values) read ``name=v1,v2,v3`` or
+``name=lo:hi:n`` (inclusive linear spacing; append ``:log`` for
+geometric spacing).  ``scenario`` values are strings; everything else
+parses as floats.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Mapping, Sequence
+
+from .._validation import check_positive
+from ..streaming import Pipeline, Source, pipeline_from_dict, pipeline_to_dict
+from ..units import MiB
+
+__all__ = ["Axis", "SweepPoint", "SweepSpec", "parse_grid_arg"]
+
+_SCENARIOS = ("worst", "avg", "best")
+#: axis names taking a stage-name suffix after the colon
+_STAGE_AXES = ("scale", "job_scale", "queue_mib")
+#: axis names standing alone
+_PLAIN_AXES = ("source_rate_scale", "source_burst_mib", "scenario", "workload_mib")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: a parameter name and its ordered values."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        kind = self.name.split(":", 1)[0]
+        if kind in _STAGE_AXES:
+            if ":" not in self.name or not self.name.split(":", 1)[1]:
+                raise ValueError(f"axis {self.name!r} needs a stage name after ':'")
+        elif self.name not in _PLAIN_AXES:
+            raise ValueError(
+                f"unknown axis {self.name!r}; expected one of "
+                f"{', '.join(_PLAIN_AXES)} or <{'/'.join(_STAGE_AXES)}>:<stage>"
+            )
+        if self.name == "scenario":
+            bad = [v for v in self.values if v not in _SCENARIOS]
+            if bad:
+                raise ValueError(f"scenario values must be in {_SCENARIOS}, got {bad}")
+        else:
+            for v in self.values:
+                check_positive(f"axis {self.name!r} value", float(v))
+
+
+def _parse_values(name: str, text: str) -> tuple[Any, ...]:
+    """Parse a grid value list: ``v1,v2,...`` or ``lo:hi:n[:log]``."""
+    if name == "scenario":
+        return tuple(v.strip() for v in text.split(","))
+    parts = text.split(":")
+    if len(parts) in (3, 4) and "," not in text:
+        lo, hi, n = float(parts[0]), float(parts[1]), int(parts[2])
+        if n < 2:
+            raise ValueError(f"axis {name!r}: range needs >= 2 points, got {n}")
+        if len(parts) == 4:
+            if parts[3] != "log":
+                raise ValueError(f"axis {name!r}: unknown spacing {parts[3]!r}")
+            if lo <= 0:
+                raise ValueError(f"axis {name!r}: log spacing needs lo > 0")
+            ratio = (hi / lo) ** (1.0 / (n - 1))
+            return tuple(lo * ratio**i for i in range(n))
+        step = (hi - lo) / (n - 1)
+        return tuple(lo + step * i for i in range(n))
+    return tuple(float(v) for v in text.split(","))
+
+
+def parse_grid_arg(text: str) -> Axis:
+    """Parse one ``--grid`` argument, e.g. ``scale:network=0.5:2:4``.
+
+    The split is on the *last* ``=`` so stage names may not contain one;
+    value syntax is described in :func:`_parse_values`.
+    """
+    if "=" not in text:
+        raise ValueError(f"grid spec {text!r} must look like name=values")
+    name, _, values = text.rpartition("=")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"grid spec {text!r} has an empty axis name")
+    return Axis(name, _parse_values(name, values.strip()))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point: its index and parameter assignment."""
+
+    index: int
+    params: Mapping[str, Any]
+
+    def label(self) -> str:
+        """Compact ``k=v`` rendering for tables and logs."""
+        def fmt(v: Any) -> str:
+            return f"{v:g}" if isinstance(v, float) else str(v)
+
+        return " ".join(f"{k}={fmt(v)}" for k, v in sorted(self.params.items()))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base pipeline plus the grid of variants to evaluate.
+
+    The base pipeline is stored as its JSON document (the same schema
+    :mod:`repro.streaming.io` round-trips) so specs pickle cleanly into
+    worker processes and hash stably into cache keys.
+    """
+
+    base: Mapping[str, Any]
+    axes: tuple[Axis, ...]
+    simulate: bool = False
+    packetized: bool = False
+    workload: float | None = None
+    base_seed: int = 42
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes: {names}")
+        if self.workload is not None:
+            check_positive("workload", self.workload)
+        # validate stage-suffixed axes against the base pipeline now,
+        # not at point-evaluation time inside a worker
+        stage_names = {s["name"] for s in self.base["stages"]}
+        for a in self.axes:
+            kind, _, stage = a.name.partition(":")
+            if kind in _STAGE_AXES and stage not in stage_names:
+                raise ValueError(
+                    f"axis {a.name!r}: no stage named {stage!r} in pipeline "
+                    f"{self.base.get('name')!r}"
+                )
+
+    @classmethod
+    def from_pipeline(
+        cls, pipeline: Pipeline, axes: Sequence[Axis], **kwargs: Any
+    ) -> "SweepSpec":
+        """Build a spec from an in-memory :class:`Pipeline`."""
+        return cls(base=pipeline_to_dict(pipeline), axes=tuple(axes), **kwargs)
+
+    @property
+    def n_points(self) -> int:
+        """Total grid size (product of axis lengths)."""
+        return math.prod(len(a.values) for a in self.axes) if self.axes else 1
+
+    def points(self) -> Iterator[SweepPoint]:
+        """Enumerate the cartesian product in deterministic order.
+
+        The last axis varies fastest (row-major), so adding an axis
+        appends dimensions without reshuffling existing prefixes.
+        """
+        if not self.axes:
+            yield SweepPoint(0, {})
+            return
+        for i, combo in enumerate(
+            itertools.product(*(a.values for a in self.axes))
+        ):
+            yield SweepPoint(i, dict(zip((a.name for a in self.axes), combo)))
+
+    # ------------------------------------------------------------------ #
+    # point application
+    # ------------------------------------------------------------------ #
+
+    def base_pipeline(self) -> Pipeline:
+        """The unmodified base pipeline."""
+        return pipeline_from_dict(dict(self.base))
+
+    def apply_point(self, point: SweepPoint) -> "AppliedPoint":
+        """Materialize one grid point into a concrete experiment."""
+        pipe = self.base_pipeline()
+        scenario = "avg"
+        workload = self.workload
+        queue_bytes: dict[str, float] = {}
+        for name, value in point.params.items():
+            kind, _, stage = name.partition(":")
+            if kind == "scale":
+                pipe = _scale_stage(pipe, stage, float(value))
+            elif kind == "job_scale":
+                s = pipe.stages[pipe.stage_index(stage)]
+                pipe = pipe.with_stage(
+                    stage, replace(s, job_bytes=s.job_bytes * float(value))
+                )
+            elif kind == "queue_mib":
+                queue_bytes[stage] = float(value) * MiB
+            elif name == "source_rate_scale":
+                src = pipe.source
+                pipe = pipe.with_source(
+                    Source(src.rate * float(value), src.burst, src.packet_bytes)
+                )
+            elif name == "source_burst_mib":
+                src = pipe.source
+                pipe = pipe.with_source(
+                    Source(src.rate, float(value) * MiB, src.packet_bytes)
+                )
+            elif name == "scenario":
+                scenario = str(value)
+            elif name == "workload_mib":
+                workload = float(value) * MiB
+        return AppliedPoint(
+            pipeline=pipe,
+            scenario=scenario,
+            workload=workload,
+            queue_bytes=queue_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class AppliedPoint:
+    """A grid point resolved into the concrete experiment inputs."""
+
+    pipeline: Pipeline
+    scenario: str
+    workload: float | None
+    queue_bytes: Mapping[str, float] = field(default_factory=dict)
+
+
+def _scale_stage(pipeline: Pipeline, name: str, factor: float) -> Pipeline:
+    """Scale one stage's rates by ``factor`` (and its measured per-job
+    execution-time overrides inversely, so the DES sees the upgrade too)."""
+    check_positive("factor", factor)
+    s = pipeline.stages[pipeline.stage_index(name)]
+    changes: dict[str, Any] = dict(
+        min_rate=s.rate_min * factor,
+        avg_rate=s.avg_rate * factor,
+        max_rate=s.rate_max * factor,
+    )
+    if s.exec_time_min is not None:
+        changes["exec_time_min"] = s.exec_time_min / factor
+        changes["exec_time_max"] = s.exec_time_max / factor
+    return pipeline.with_stage(name, replace(s, **changes))

@@ -9,7 +9,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["series_to_csv", "write_series_csv"]
+__all__ = ["series_to_csv", "write_series_csv", "rows_to_csv", "write_rows_csv"]
 
 
 def series_to_csv(
@@ -40,4 +40,32 @@ def write_series_csv(
     """Write :func:`series_to_csv` output to ``path``; returns the path."""
     p = Path(path)
     p.write_text(series_to_csv(series))
+    return p
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render flat record dicts as wide-format CSV text.
+
+    The header is the union of all keys, ordered by first appearance so
+    column order is deterministic; missing values render empty.
+    """
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    columns: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in columns:
+                columns.append(k)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buf.getvalue()
+
+
+def write_rows_csv(rows: Sequence[Mapping[str, object]], path: "str | Path") -> Path:
+    """Write :func:`rows_to_csv` output to ``path``; returns the path."""
+    p = Path(path)
+    p.write_text(rows_to_csv(rows))
     return p

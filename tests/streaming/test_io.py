@@ -77,3 +77,15 @@ class TestValidation:
         p = pipeline_from_dict(doc)
         assert p.source.burst == 0.0
         assert p.stages[0].rate_min == 5.0
+
+    def test_malformed_json_raises_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "source": {')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_pipeline(bad)
+
+    def test_non_object_document_rejected(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_pipeline(bad)

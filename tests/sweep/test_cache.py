@@ -1,0 +1,66 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+from repro.sweep import ResultCache, canonical_json, point_key
+
+
+MODEL = {"name": "m", "source": {"rate": 1.0}, "stages": [{"name": "a", "avg_rate": 2.0}]}
+OPTS = {"simulate": False, "packetized": False, "workload": None, "base_seed": 42}
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        k1 = point_key(MODEL, {"scale:a": 2.0}, OPTS)
+        k2 = point_key(dict(MODEL), {"scale:a": 2.0}, dict(OPTS))
+        assert k1 == k2
+        assert len(k1) == 64  # sha256 hex
+
+    def test_key_ignores_dict_ordering(self):
+        a = point_key(MODEL, {"x": 1.0, "y": 2.0}, OPTS)
+        b = point_key(MODEL, {"y": 2.0, "x": 1.0}, OPTS)
+        assert a == b
+
+    def test_key_changes_with_model_params_options_salt(self):
+        base = point_key(MODEL, {"x": 1.0}, OPTS)
+        other_model = {**MODEL, "name": "m2"}
+        assert point_key(other_model, {"x": 1.0}, OPTS) != base
+        assert point_key(MODEL, {"x": 2.0}, OPTS) != base
+        assert point_key(MODEL, {"x": 1.0}, {**OPTS, "simulate": True}) != base
+        assert point_key(MODEL, {"x": 1.0}, OPTS, salt="v2") != base
+
+    def test_canonical_json_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5]}) == '{"a":[1.5],"b":1}'
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(MODEL, {}, OPTS)
+        assert cache.get(key) is None
+        cache.put(key, {"nc": {"v": 1.5}, "des": None, "elapsed": 0.1})
+        got = cache.get(key)
+        assert got is not None and got["nc"]["v"] == 1.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(MODEL, {}, OPTS)
+        path = cache.put(key, {"ok": True})
+        path.write_text("{ truncated")
+        assert cache.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(MODEL, {}, OPTS)
+        path = cache.put(key, {"ok": True})
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.get(key) is None
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(MODEL, {}, OPTS)
+        path = cache.put(key, {"ok": True})
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"

@@ -1,0 +1,184 @@
+"""Tests for sweep execution: serial/parallel/cached identity, fallback,
+per-point seeds, artifact store."""
+
+import json
+
+import pytest
+
+from repro.apps.blast import blast_pipeline
+from repro.streaming import analyze, upgrade_grid
+from repro.sweep import (
+    Axis,
+    ResultCache,
+    SweepSpec,
+    point_seed,
+    run_sweep,
+    write_artifacts,
+)
+from repro.sweep import runner as runner_mod
+from repro.units import MiB
+
+
+def _spec(simulate=False, workload=None):
+    return SweepSpec.from_pipeline(
+        blast_pipeline(),
+        [Axis("scale:ungapped_ext", (1.0, 2.0)), Axis("scale:network", (0.5, 1.0))],
+        simulate=simulate,
+        workload=workload,
+    )
+
+
+class TestSeeds:
+    def test_seed_depends_on_params_not_index(self):
+        s1 = point_seed(42, {"scale:a": 1.0})
+        s2 = point_seed(42, {"scale:a": 1.0})
+        assert s1 == s2
+        assert point_seed(42, {"scale:a": 2.0}) != s1
+        assert point_seed(43, {"scale:a": 1.0}) != s1
+
+    def test_seed_survives_axis_reordering(self):
+        assert point_seed(1, {"a": 1.0, "b": 2.0}) == point_seed(1, {"b": 2.0, "a": 1.0})
+
+
+class TestRunSweep:
+    def test_serial_matches_direct_analysis(self):
+        spec = _spec()
+        result = run_sweep(spec, jobs=1)
+        assert result.mode == "serial"
+        assert len(result.results) == 4
+        # the base-scale point must agree with analyzing the pipeline directly
+        base = next(
+            r
+            for r in result.results
+            if r.params == {"scale:ungapped_ext": 1.0, "scale:network": 1.0}
+        )
+        direct = analyze(blast_pipeline(), packetized=False)
+        assert base.nc["throughput_lower_bound"] == pytest.approx(
+            direct.throughput_lower_bound
+        )
+        assert base.nc["delay_bound"] == pytest.approx(direct.delay_bound)
+        assert base.nc["bottleneck"] == direct.bottleneck
+
+    def test_parallel_identical_to_serial(self):
+        spec = _spec()
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        assert parallel.mode in ("parallel", "parallel-degraded")
+        assert serial.comparable() == parallel.comparable()
+
+    def test_cache_skips_recomputation_and_is_identical(self, tmp_path):
+        spec = _spec()
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(spec, jobs=1, cache=cache)
+        assert cold.cache_hits == 0 and cold.cache_misses == 4
+        warm = run_sweep(spec, jobs=1, cache=cache)
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+        assert all(r.cached for r in warm.results)
+        assert cold.comparable() == warm.comparable()
+
+    def test_spec_change_invalidates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec(), jobs=1, cache=cache)
+        bumped = SweepSpec.from_pipeline(
+            blast_pipeline(),
+            [Axis("scale:ungapped_ext", (1.0, 2.0)), Axis("scale:network", (0.5, 1.0))],
+            packetized=True,  # different evaluation options => different keys
+        )
+        again = run_sweep(bumped, jobs=1, cache=cache)
+        assert again.cache_hits == 0
+
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        spec = _spec()
+
+        def boom(*args, **kwargs):
+            raise OSError("no pool for you")
+
+        import multiprocessing as mp
+
+        monkeypatch.setattr(mp, "Pool", boom)
+        result = run_sweep(spec, jobs=4)
+        assert result.mode == "parallel-degraded"
+        assert len(result.results) == 4
+        assert not result.errors
+        assert result.comparable() == run_sweep(spec, jobs=1).comparable()
+
+    def test_point_error_is_isolated(self, monkeypatch):
+        spec = _spec()
+        real = runner_mod.evaluate_point
+
+        def flaky(model, params, options, seed):
+            if params.get("scale:network") == 0.5:
+                return {"error": "RuntimeError: injected", "elapsed": 0.0}
+            return real(model, params, options, seed)
+
+        monkeypatch.setattr(runner_mod, "evaluate_point", flaky)
+        result = run_sweep(spec, jobs=1)
+        assert len(result.errors) == 2
+        ok = [r for r in result.results if r.error is None]
+        assert len(ok) == 2 and all(r.nc is not None for r in ok)
+
+    def test_simulate_points_carry_des_metrics(self):
+        spec = _spec(simulate=True, workload=2 * MiB)
+        result = run_sweep(spec, jobs=1)
+        r = result.results[0]
+        assert r.des is not None
+        assert r.des["throughput"] > 0
+        assert r.des["virtual_delay_max"] >= r.des["virtual_delay_min"] >= 0
+        # DES throughput respects the NC upper bound (cross-validation)
+        assert r.des["throughput"] <= r.nc["throughput_upper_bound"] * 1.01
+
+    def test_des_seed_determinism_across_runs(self):
+        spec = _spec(simulate=True, workload=2 * MiB)
+        a = run_sweep(spec, jobs=1)
+        b = run_sweep(spec, jobs=1)
+        assert a.comparable() == b.comparable()
+
+
+class TestWhatifGrid:
+    def test_upgrade_grid_drives_sweep(self):
+        grid = upgrade_grid(blast_pipeline(), ["ungapped_ext"], [1.0, 2.0])
+        assert grid.n_points == 2
+        lbs = [r.nc["throughput_lower_bound"] for r in grid.results]
+        assert lbs[1] > lbs[0]
+
+    def test_upgrade_grid_needs_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            upgrade_grid(blast_pipeline(), [], [1.0])
+
+
+class TestStore:
+    def test_artifacts_written(self, tmp_path):
+        spec = _spec()
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(spec, jobs=1, cache=cache)
+        paths = write_artifacts(result, spec, tmp_path / "out")
+
+        rows = json.loads(paths["results.json"].read_text())
+        assert len(rows) == 4
+        assert rows[0]["nc"]["throughput_lower_bound"] > 0
+
+        csv_lines = paths["results.csv"].read_text().splitlines()
+        assert len(csv_lines) == 5  # header + 4 points
+        assert "nc:throughput_lower_bound" in csv_lines[0]
+        assert "param:scale:ungapped_ext" in csv_lines[0]
+
+        manifest = json.loads(paths["manifest.json"].read_text())
+        assert manifest["pipeline"] == "BLAST"
+        assert manifest["n_points"] == 4
+        assert manifest["cache_misses"] == 4
+        assert manifest["mode"] == "serial"
+        assert len(manifest["point_timings"]) == 4
+        assert {a["name"] for a in manifest["axes"]} == {
+            "scale:ungapped_ext",
+            "scale:network",
+        }
+
+    def test_manifest_reports_cache_hits_on_warm_run(self, tmp_path):
+        spec = _spec()
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(spec, jobs=1, cache=cache)
+        warm = run_sweep(spec, jobs=1, cache=cache)
+        paths = write_artifacts(warm, spec, tmp_path / "out")
+        manifest = json.loads(paths["manifest.json"].read_text())
+        assert manifest["cache_hits"] == 4 and manifest["cache_misses"] == 0
+        assert manifest["compute_time"] == 0.0
