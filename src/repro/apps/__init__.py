@@ -9,6 +9,8 @@ from .blast import (
     BLAST_PAPER,
     BLAST_QUEUE_BOUNDS,
     blast_analysis,
+    blast_conformance,
+    blast_deployed_pipeline,
     blast_pipeline,
     blast_simulation,
 )
@@ -17,7 +19,9 @@ from .bump_in_the_wire import (
     BITW_QUEUE_BOUNDS,
     LZ4_RATIOS,
     bitw_analysis,
+    bitw_conformance,
     bitw_pipeline,
+    bitw_queue_bytes,
     bitw_simulation,
 )
 
@@ -25,12 +29,16 @@ __all__ = [
     "BLAST_PAPER",
     "BLAST_QUEUE_BOUNDS",
     "blast_analysis",
+    "blast_conformance",
+    "blast_deployed_pipeline",
     "blast_pipeline",
     "blast_simulation",
     "BITW_PAPER",
     "BITW_QUEUE_BOUNDS",
     "LZ4_RATIOS",
     "bitw_analysis",
+    "bitw_conformance",
     "bitw_pipeline",
+    "bitw_queue_bytes",
     "bitw_simulation",
 ]

@@ -45,9 +45,11 @@ __all__ = [
     "BLAST_PAPER",
     "PaperNumbersBlast",
     "blast_pipeline",
+    "blast_deployed_pipeline",
     "blast_analysis",
     "blast_simulation",
     "blast_envelope_simulation",
+    "blast_conformance",
     "BLAST_QUEUE_BOUNDS",
     "DEFAULT_WORKLOAD",
 ]
@@ -178,8 +180,21 @@ def blast_analysis(workload: float | None = DEFAULT_WORKLOAD) -> AnalysisReport:
     return analyze(blast_pipeline(), packetized=False, workload=workload)
 
 
+def blast_deployed_pipeline() -> Pipeline:
+    """The deployed variant: same stages, host-paced source.
+
+    The real system paces its feed near the measured acceptance rate
+    (``_SIM_FEED``) instead of saturating the 704 MiB/s FPGA envelope;
+    the model's bounds must still hold over this gentler arrival."""
+    return blast_pipeline().with_source(
+        Source(rate=_SIM_FEED, burst=_SOURCE_BURST, packet_bytes=64 * KiB)
+    )
+
+
 def blast_simulation(
-    workload: float = DEFAULT_WORKLOAD, seed: int | None = 42
+    workload: float = DEFAULT_WORKLOAD,
+    seed: int | None = 42,
+    probe: object | None = None,
 ) -> SimulationReport:
     """The discrete-event validation run (Table-1 simulation row).
 
@@ -188,26 +203,46 @@ def blast_simulation(
     backpressure, so the ~353 MiB/s throughput emerges from the
     bottleneck stage's service times rather than being configured.
     """
-    pipe = blast_pipeline()
-    deployed = pipe.with_source(
-        Source(rate=_SIM_FEED, burst=_SOURCE_BURST, packet_bytes=64 * KiB)
-    )
     return simulate(
-        deployed,
+        blast_deployed_pipeline(),
         workload=workload,
         seed=seed,
         queue_bytes=BLAST_QUEUE_BOUNDS,
+        probe=probe,
     )
 
 
 def blast_envelope_simulation(
-    workload: float = DEFAULT_WORKLOAD, seed: int | None = 42
+    workload: float = DEFAULT_WORKLOAD,
+    seed: int | None = 42,
+    probe: object | None = None,
 ) -> SimulationReport:
     """Model-validation run for Fig. 4: the source saturates the arrival
     envelope (full 704 MiB/s rate and 12.28 MiB burst) and queues are
     unbounded, so the simulated cumulative output must lie between the
     model's ``beta(t)`` and ``alpha(t)`` curves."""
-    return simulate(blast_pipeline(), workload=workload, seed=seed)
+    return simulate(blast_pipeline(), workload=workload, seed=seed, probe=probe)
+
+
+def blast_conformance(
+    workload: float = 256 * MiB, seed: int | None = 42, probe: object | None = None
+):
+    """Check the deployed BLAST run against the model's bounds.
+
+    Defaults match :func:`repro.reproduction.blast_observation_rows`
+    (the run whose observed delays the paper prints).  Returns a
+    :class:`repro.telemetry.ConformanceReport`.
+    """
+    from ..telemetry import run_conformance
+
+    return run_conformance(
+        blast_pipeline(),
+        workload=workload,
+        run_pipeline=blast_deployed_pipeline(),
+        seed=seed,
+        queue_bytes=BLAST_QUEUE_BOUNDS,
+        probe=probe,
+    )
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,8 @@ __all__ = [
     "bitw_analysis",
     "bitw_simulation",
     "bitw_envelope_simulation",
+    "bitw_conformance",
+    "bitw_queue_bytes",
     "BITW_QUEUE_BOUNDS",
     "DEFAULT_WORKLOAD",
 ]
@@ -155,10 +157,27 @@ def bitw_analysis(workload: float | None = DEFAULT_WORKLOAD) -> AnalysisReport:
     return analyze(bitw_pipeline(), packetized=False, workload=workload)
 
 
+def bitw_queue_bytes(scenario: str = "worst") -> dict[str, float]:
+    """The FIFO bounds in input-referred units for one data scenario.
+
+    The physical bounds (``BITW_QUEUE_BOUNDS``) are local bytes; the
+    simulator works input-referred, so each bound is scaled by the
+    cumulative volume factor at its stage."""
+    from ..streaming import cumulative_volume_factors
+
+    pipe = bitw_pipeline()
+    factors = cumulative_volume_factors([s.volume_ratio for s in pipe.stages])
+    return {
+        s.name: BITW_QUEUE_BOUNDS[s.name] / getattr(v, scenario)
+        for s, v in zip(pipe.stages, factors)
+    }
+
+
 def bitw_simulation(
     workload: float = DEFAULT_WORKLOAD,
     seed: int | None = 42,
     scenario: str = "worst",
+    probe: object | None = None,
 ) -> SimulationReport:
     """The discrete-event validation run (Table-3 simulation row).
 
@@ -166,22 +185,13 @@ def bitw_simulation(
     ratio-1.0 lower bound) identifies its run as the *worst* data
     scenario — incompressible data — which is this function's default.
     """
-    pipe = bitw_pipeline()
-    # the FIFO bounds are physical (local bytes); express them in the
-    # input-referred units the simulator works in for this scenario
-    from ..streaming import cumulative_volume_factors
-
-    factors = cumulative_volume_factors([s.volume_ratio for s in pipe.stages])
-    queue_bytes = {
-        s.name: BITW_QUEUE_BOUNDS[s.name] / getattr(v, scenario)
-        for s, v in zip(pipe.stages, factors)
-    }
     return simulate(
-        pipe,
+        bitw_pipeline(),
         workload=workload,
         seed=seed,
-        queue_bytes=queue_bytes,
+        queue_bytes=bitw_queue_bytes(scenario),
         scenario=scenario,
+        probe=probe,
     )
 
 
@@ -189,10 +199,35 @@ def bitw_envelope_simulation(
     workload: float = DEFAULT_WORKLOAD,
     seed: int | None = 42,
     scenario: str = "worst",
+    probe: object | None = None,
 ) -> SimulationReport:
     """Model-validation run for Fig. 10: envelope-saturating source and
     unbounded queues, so the output is bracketed by the model curves."""
-    return simulate(bitw_pipeline(), workload=workload, seed=seed, scenario=scenario)
+    return simulate(
+        bitw_pipeline(), workload=workload, seed=seed, scenario=scenario, probe=probe
+    )
+
+
+def bitw_conformance(
+    workload: float = 4 * MiB,
+    seed: int | None = 42,
+    scenario: str = "worst",
+    probe: object | None = None,
+):
+    """Check the bump-in-the-wire run against the model's bounds.
+
+    Defaults match :func:`repro.reproduction.bitw_observation_rows`.
+    Returns a :class:`repro.telemetry.ConformanceReport`."""
+    from ..telemetry import run_conformance
+
+    return run_conformance(
+        bitw_pipeline(),
+        workload=workload,
+        seed=seed,
+        queue_bytes=bitw_queue_bytes(scenario),
+        scenario=scenario,
+        probe=probe,
+    )
 
 
 @dataclass(frozen=True)

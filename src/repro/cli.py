@@ -4,8 +4,14 @@ Commands
 --------
 ``repro analyze {blast,bitw}``
     print the network-calculus analysis summary of a case study;
-``repro simulate {blast,bitw} [--workload-mib N] [--seed S]``
+``repro simulate {blast,bitw} [--workload-mib N] [--seed S] [--trace F] [--metrics]``
     run the discrete-event validation and print its summary;
+    ``--trace out.json`` records a Chrome/Perfetto trace-event file
+    (load at ``ui.perfetto.dev``), ``--metrics`` appends per-stage
+    service-time and latency histograms;
+``repro conformance {blast,bitw,file}``
+    replay a DES run against the network-calculus bounds and report
+    every violation (exit status 1 when any check fails);
 ``repro reproduce {table1,table2,table3,fig1,fig4,fig10,all} [--csv-dir D]``
     regenerate a paper artifact (tables print paper-vs-ours rows;
     figures print ASCII and optionally write CSV series);
@@ -52,6 +58,32 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--file", type=Path, default=None, help="pipeline model JSON (with app=file)")
     ps.add_argument("--workload-mib", type=float, default=None, help="input volume in MiB")
     ps.add_argument("--seed", type=int, default=42)
+    ps.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Chrome/Perfetto trace-event JSON of the run",
+    )
+    ps.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=1_000_000,
+        help="trace ring-buffer capacity in events (oldest dropped first)",
+    )
+    ps.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-stage service-time and latency histograms",
+    )
+
+    pc = sub.add_parser(
+        "conformance", help="check DES observations against the NC bounds"
+    )
+    pc.add_argument("app", choices=["blast", "bitw", "file"])
+    pc.add_argument("--file", type=Path, default=None, help="pipeline model JSON (with app=file)")
+    pc.add_argument("--workload-mib", type=float, default=None, help="input volume in MiB")
+    pc.add_argument("--seed", type=int, default=42)
 
     pe = sub.add_parser("export", help="write a case study's model as JSON")
     pe.add_argument("app", choices=["blast", "bitw"])
@@ -132,28 +164,83 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     return bitw_analysis().summary()
 
 
+def _simulate_probe(args: argparse.Namespace):
+    """``(probe, tracer, metrics)`` for the simulate flags (all optional)."""
+    tracer = metrics = None
+    if args.trace is not None:
+        from .telemetry import Tracer
+
+        tracer = Tracer(capacity=args.trace_capacity)
+    if args.metrics:
+        from .telemetry import SimMetrics
+
+        metrics = SimMetrics()
+    probes = [p for p in (tracer, metrics) if p is not None]
+    if not probes:
+        return None, None, None
+    if len(probes) == 1:
+        return probes[0], tracer, metrics
+    from .telemetry import MultiProbe
+
+    return MultiProbe(probes), tracer, metrics
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
+    probe, tracer, metrics = _simulate_probe(args)
     if args.app == "file":
         from .streaming import simulate
 
         workload = (args.workload_mib or 64.0) * MiB
-        rep = simulate(_load_model_file(_require_file(args)), workload=workload, seed=args.seed)
+        rep = simulate(
+            _load_model_file(_require_file(args)),
+            workload=workload,
+            seed=args.seed,
+            probe=probe,
+        )
     elif args.app == "blast":
         from .apps.blast import blast_simulation
 
         workload = (args.workload_mib or 256.0) * MiB
-        rep = blast_simulation(workload=workload, seed=args.seed)
+        rep = blast_simulation(workload=workload, seed=args.seed, probe=probe)
     else:
         from .apps.bump_in_the_wire import bitw_simulation
 
         workload = (args.workload_mib or 4.0) * MiB
-        rep = bitw_simulation(workload=workload, seed=args.seed)
+        rep = bitw_simulation(workload=workload, seed=args.seed, probe=probe)
     vd = rep.observed_virtual_delays(skip_initial_fraction=0.15)
     extra = (
         f"\nobserved virtual delay   "
         f"{vd.min * 1e3:.4g} ms .. {vd.max * 1e3:.4g} ms"
     )
-    return rep.summary() + extra
+    out = rep.summary() + extra
+    if metrics is not None:
+        out += "\n\n" + metrics.summary()
+    if tracer is not None:
+        path = tracer.write(args.trace)
+        dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+        out += f"\n[trace: {tracer.emitted} events{dropped} -> {path}]"
+    return out
+
+
+def _cmd_conformance(args: argparse.Namespace) -> tuple[str, int]:
+    if args.app == "file":
+        from .telemetry import run_conformance
+
+        workload = (args.workload_mib or 64.0) * MiB
+        report = run_conformance(
+            _load_model_file(_require_file(args)), workload=workload, seed=args.seed
+        )
+    elif args.app == "blast":
+        from .apps.blast import blast_conformance
+
+        workload = (args.workload_mib or 256.0) * MiB
+        report = blast_conformance(workload=workload, seed=args.seed)
+    else:
+        from .apps.bump_in_the_wire import bitw_conformance
+
+        workload = (args.workload_mib or 4.0) * MiB
+        report = bitw_conformance(workload=workload, seed=args.seed)
+    return report.summary(), 0 if report.ok else 1
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> str:
@@ -238,6 +325,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         )
         if r.des is not None:
             row += f"  des {format_rate(r.des['throughput']):>14}"
+        if r.conformance_ok is not None:
+            row += "  conf " + ("PASS" if r.conformance_ok else "FAIL")
         if r.cached:
             row += "  (cached)"
         lines.append(row)
@@ -258,18 +347,25 @@ def _cmd_buffers(args: argparse.Namespace) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit status."""
+    """Entry point; returns the process exit status.
+
+    Handlers return either the text to print or ``(text, status)`` —
+    the conformance verb reports violations through the exit status.
+    """
     args = build_parser().parse_args(argv)
     handler = {
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
+        "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
         "buffers": _cmd_buffers,
         "export": _cmd_export,
         "sweep": _cmd_sweep,
     }[args.command]
-    print(handler(args))
-    return 0
+    out = handler(args)
+    text, status = out if isinstance(out, tuple) else (out, 0)
+    print(text)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

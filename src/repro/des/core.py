@@ -279,13 +279,21 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation world: clock, event heap, and process factory."""
+    """The simulation world: clock, event heap, and process factory.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``tracer`` is an optional telemetry sink (any object with a
+    ``kernel_event(t, event)`` method, e.g.
+    :class:`repro.telemetry.SimProbe`); it is invoked once per
+    dispatched event.  The default is ``None`` and costs untraced runs
+    a single identity comparison per event.
+    """
+
+    def __init__(self, initial_time: float = 0.0, *, tracer: Any = None) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        self._tracer = tracer
 
     @property
     def now(self) -> float:
@@ -339,6 +347,8 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         t, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = t
+        if self._tracer is not None:
+            self._tracer.kernel_event(t, event)
         callbacks = event.callbacks
         event.callbacks = None
         for cb in callbacks:

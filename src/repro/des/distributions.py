@@ -28,6 +28,8 @@ def constant(value: float) -> Distribution:
         return value
 
     sample.mean = value  # type: ignore[attr-defined]
+    sample.lo = value  # type: ignore[attr-defined]
+    sample.hi = value  # type: ignore[attr-defined]
     return sample
 
 
@@ -42,6 +44,8 @@ def uniform(lo: float, hi: float) -> Distribution:
         return float(rng.uniform(lo, hi))
 
     sample.mean = 0.5 * (lo + hi)  # type: ignore[attr-defined]
+    sample.lo = lo  # type: ignore[attr-defined]
+    sample.hi = hi  # type: ignore[attr-defined]
     return sample
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -134,12 +134,19 @@ class ByteQueue:
     are present, or returns the remainder once the producer ``close``-s.
     """
 
-    def __init__(self, env: Environment, capacity: float = math.inf, name: str = "") -> None:
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = math.inf,
+        name: str = "",
+        probe: "Any" = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
         self.name = name
+        self.probe = probe
         self.bytes = 0.0
         self.occupancy = StepSeries(0.0, env.now)
         self._frags: deque[Packet] = deque()
@@ -216,6 +223,8 @@ class ByteQueue:
         self._frags.append(packet)
         self.bytes += packet.size
         self.occupancy.record(self.env.now, self.bytes)
+        if self.probe is not None:
+            self.probe.queue_level(self.name, self.env.now, self.bytes)
         self._try_serve_get()
 
     def _take(self, nbytes: float) -> list[Packet]:
@@ -236,6 +245,8 @@ class ByteQueue:
         if self.bytes < 1e-9:
             self.bytes = 0.0
         self.occupancy.record(self.env.now, self.bytes)
+        if self.probe is not None:
+            self.probe.queue_level(self.name, self.env.now, self.bytes)
         # freed space may admit (part of) a blocked producer's packet
         self._drain_pending_put()
         return out
@@ -277,6 +288,11 @@ class PipelineSimulation:
         optional simulated-time cut-off — a guard for failure-injection
         experiments; a run that would otherwise block forever (e.g. an
         impossible queue configuration) stops here instead.
+    probe:
+        optional telemetry sink implementing the
+        :class:`repro.telemetry.SimProbe` protocol (duck-typed — this
+        module never imports :mod:`repro.telemetry`).  ``None`` (the
+        default) keeps every hook site a single identity comparison.
     """
 
     def __init__(
@@ -290,6 +306,7 @@ class PipelineSimulation:
         seed: int | None = 0,
         interarrival: Distribution | None = None,
         max_sim_time: float = math.inf,
+        probe: Any = None,
     ) -> None:
         if not stages:
             raise ValueError("need at least one stage")
@@ -313,6 +330,7 @@ class PipelineSimulation:
         if max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
         self.max_sim_time = max_sim_time
+        self.probe = probe
 
     # ------------------------------------------------------------------ #
 
@@ -325,13 +343,14 @@ class PipelineSimulation:
         per-job times are a function of ``(seed, stage index)`` alone —
         the determinism guarantee the validation experiments rely on.
         """
-        env = Environment()
+        probe = self.probe
+        env = Environment(tracer=probe)
         streams = np.random.SeedSequence(self.seed).spawn(len(self.stages) + 1)
         source_rng = np.random.default_rng(streams[0])
         stage_rngs = [np.random.default_rng(s) for s in streams[1:]]
 
         queues = [
-            ByteQueue(env, stage.queue_bytes, name=f"q->{stage.name}")
+            ByteQueue(env, stage.queue_bytes, name=f"q->{stage.name}", probe=probe)
             for stage in self.stages
         ]
         system_bytes = StepSeries(0.0, 0.0)
@@ -355,6 +374,8 @@ class PipelineSimulation:
                 # does not occupy the pipeline's queues
                 arrivals.add(env.now, p)
                 system_bytes.add(env.now, p)
+                if probe is not None:
+                    probe.source_packet(env.now, p)
                 sent += p
                 burst_left -= p
             while sent < self.workload * (1 - 1e-12):
@@ -368,6 +389,8 @@ class PipelineSimulation:
                 yield queues[0].put(pkt)
                 arrivals.add(env.now, p)
                 system_bytes.add(env.now, p)
+                if probe is not None:
+                    probe.source_packet(env.now, p)
                 sent += p
             queues[0].close()
 
@@ -387,12 +410,18 @@ class PipelineSimulation:
                 # initiation: node is free (we are here) and data is ready;
                 # the first job additionally pays the stage's fill latency
                 t_exec = stage.service(rng)
-                if not started:
+                is_first = not started
+                if is_first:
                     t_exec += stage.startup_latency
                     started = True
+                t_start = env.now
+                if probe is not None:
+                    probe.job_start(stage.name, t_start, job_bytes)
                 yield env.timeout(t_exec)
                 busy[i] += t_exec
                 jobs[i] += 1
+                if probe is not None:
+                    probe.job_end(stage.name, t_start, env.now, job_bytes, is_first)
                 # departure: emit in `emit`-byte chunks (volume conserved,
                 # input-referred)
                 remaining = job_bytes
@@ -407,6 +436,8 @@ class PipelineSimulation:
                         delays_first.record(env.now - born_first)
                         delays_last.record(env.now - born_last)
                         sink_records.append((env.now, chunk))
+                        if probe is not None:
+                            probe.sink_departure(env.now, chunk, born_first, born_last)
                     remaining -= chunk
                 if eof:
                     break
@@ -427,6 +458,8 @@ class PipelineSimulation:
                 )
 
         makespan = env.now
+        if probe is not None:
+            probe.run_end(makespan)
         stage_stats = [
             StageStats(
                 name=s.name,

@@ -10,6 +10,11 @@ These mirror the SimPy resource triad used by the paper's simulator:
 
 All operations return events; processes ``yield`` them.  Waiters are
 served strictly FIFO (head-of-line blocking), matching SimPy.
+
+Each resource accepts an optional telemetry ``probe`` (any object with
+a ``queue_level(name, t, level)`` method); level transitions are
+reported through it.  The default is ``None`` — untraced resources pay
+one identity comparison per state change.
 """
 
 from __future__ import annotations
@@ -49,14 +54,23 @@ class Store:
     completes; ``items`` exposes the current contents (read-only use).
     """
 
-    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        *,
+        name: str = "store",
+        probe: Any = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
+        self.name = name
         self.items: list[Any] = []
         self._puts: Deque[StorePut] = deque()
         self._gets: Deque[StoreGet] = deque()
+        self._probe = probe
 
     def put(self, item: Any) -> StorePut:
         """Event that fires once ``item`` has been accepted."""
@@ -74,17 +88,20 @@ class Store:
 
     def _update(self) -> None:
         progress = True
+        changed = False
         while progress:
             progress = False
             if self._puts and len(self.items) < self.capacity:
                 put = self._puts.popleft()
                 self.items.append(put.item)
                 put._grant(None)
-                progress = True
+                progress = changed = True
             if self._gets and self.items:
                 get = self._gets.popleft()
                 get._grant(self.items.pop(0))
-                progress = True
+                progress = changed = True
+        if changed and self._probe is not None:
+            self._probe.queue_level(self.name, self.env.now, float(len(self.items)))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -114,7 +131,13 @@ class Container:
     """
 
     def __init__(
-        self, env: Environment, capacity: float = float("inf"), init: float = 0.0
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        *,
+        name: str = "container",
+        probe: Any = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -122,9 +145,11 @@ class Container:
             raise ValueError("init must lie within [0, capacity]")
         self.env = env
         self.capacity = capacity
+        self.name = name
         self._level = float(init)
         self._puts: Deque[ContainerPut] = deque()
         self._gets: Deque[ContainerGet] = deque()
+        self._probe = probe
 
     @property
     def level(self) -> float:
@@ -149,18 +174,21 @@ class Container:
 
     def _update(self) -> None:
         progress = True
+        changed = False
         while progress:
             progress = False
             if self._puts and self._level + self._puts[0].amount <= self.capacity:
                 put = self._puts.popleft()
                 self._level += put.amount
                 put._grant(None)
-                progress = True
+                progress = changed = True
             if self._gets and self._level >= self._gets[0].amount:
                 get = self._gets.popleft()
                 self._level -= get.amount
                 get._grant(get.amount)
-                progress = True
+                progress = changed = True
+        if changed and self._probe is not None:
+            self._probe.queue_level(self.name, self.env.now, self._level)
 
 
 class ResourceRequest(_Op):

@@ -11,7 +11,7 @@ source at its sustained rate.
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Any, Mapping
 
 from .._validation import check_positive
 from ..des import PipelineSimulation, SimStage, SimulationReport, uniform
@@ -27,6 +27,7 @@ def to_simulation(
     seed: int | None = 0,
     queue_bytes: Mapping[str, float] | None = None,
     scenario: str = "avg",
+    probe: Any = None,
 ) -> PipelineSimulation:
     """Construct (without running) the DES experiment for a pipeline.
 
@@ -35,6 +36,8 @@ def to_simulation(
     paper's experiments.  ``scenario`` fixes the data scenario
     ("worst"/"avg"/"best") a single run lives in — one dataset has one
     compression ratio, so per-stage rate jitter stays within it.
+    ``probe`` is an optional :class:`repro.telemetry.SimProbe` telemetry
+    sink passed straight to the simulator.
     """
     check_positive("workload", workload)
     queue_bytes = dict(queue_bytes or {})
@@ -67,6 +70,7 @@ def to_simulation(
         source_packet=pipeline.source.packet_bytes,
         source_burst=pipeline.source.burst,
         seed=seed,
+        probe=probe,
     )
 
 
@@ -77,6 +81,7 @@ def simulate(
     seed: int | None = 0,
     queue_bytes: Mapping[str, float] | None = None,
     scenario: str = "avg",
+    probe: Any = None,
 ) -> SimulationReport:
     """Run the DES validation experiment and return its report."""
     return to_simulation(
@@ -85,4 +90,5 @@ def simulate(
         seed=seed,
         queue_bytes=queue_bytes,
         scenario=scenario,
+        probe=probe,
     ).run()

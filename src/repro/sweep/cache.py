@@ -26,7 +26,7 @@ from .. import __version__
 __all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "point_key", "ResultCache"]
 
 #: bump to invalidate every existing cache entry
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2  # v2: results grew metrics + conformance sections
 
 
 def canonical_json(obj: Any) -> str:

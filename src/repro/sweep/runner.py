@@ -74,10 +74,18 @@ def evaluate_point(
 ) -> dict[str, Any]:
     """Evaluate one grid point; pure function of JSON-able inputs.
 
-    Returns a JSON-able dict with ``nc`` (always), ``des`` (when
-    simulation is enabled), and ``elapsed`` (compute seconds).  Errors
-    are captured per point (``{"error": ...}``) so one pathological
-    variant cannot abort a whole sweep.
+    Returns a JSON-able dict with ``nc`` (always), ``des``, ``metrics``
+    and ``conformance`` (when simulation is enabled), and ``elapsed``
+    (compute seconds).  Errors are captured per point
+    (``{"error": ...}``) so one pathological variant cannot abort a
+    whole sweep.
+
+    Conformance scope: stable pipelines are checked against the full
+    valid bound set (delay, arrival, backlog, per-queue) — violations
+    there falsify a theorem.  Unstable pipelines run envelope-saturating
+    here (the sweep simulates the modelled source, not a backpressured
+    deployment), where the paper's transient *estimates* do not apply,
+    so only the always-sound arrival-curve check runs.
     """
     t0 = time.perf_counter()
     try:
@@ -110,14 +118,24 @@ def evaluate_point(
             "delay_bound_workload": report.delay_bound_workload,
             "backlog_bound_workload": report.backlog_bound_workload,
         }
-        des = None
+        des = metrics_out = conformance = None
         if spec.simulate:
+            from ..telemetry import (
+                ConformanceReport,
+                SimMetrics,
+                check_arrivals,
+                evaluate_conformance,
+                valid_bounds,
+            )
+
+            metrics = SimMetrics()
             rep = simulate(
                 applied.pipeline,
                 workload=applied.workload or DEFAULT_SIM_WORKLOAD,
                 seed=seed,
                 queue_bytes=dict(applied.queue_bytes) or None,
                 scenario=applied.scenario,
+                probe=metrics,
             )
             vd = rep.observed_virtual_delays(skip_initial_fraction=0.15)
             des = {
@@ -130,7 +148,41 @@ def evaluate_point(
                 "virtual_delay_max": vd.max,
                 "bottleneck": rep.bottleneck().name,
             }
-        return {"nc": nc, "des": des, "elapsed": time.perf_counter() - t0}
+            metrics_out = {
+                "job_latency": None,
+                "stage_service": metrics.stage_service_summary(),
+            }
+            if "job.latency_s" in metrics.registry:
+                latency = metrics.registry["job.latency_s"].snapshot()
+                metrics_out["job_latency"] = {
+                    k: latency[k] for k in ("count", "mean", "max", "p99")
+                }
+            delay_b, backlog_b, alpha, est = valid_bounds(applied.pipeline)
+            l_max = applied.pipeline.source.packet_bytes
+            if est:
+                conf = ConformanceReport(
+                    applied.pipeline.name,
+                    True,
+                    (check_arrivals(rep, alpha, l_max),),
+                )
+            else:
+                conf = evaluate_conformance(
+                    applied.pipeline.name,
+                    rep,
+                    delay=delay_b,
+                    backlog=backlog_b,
+                    alpha=alpha,
+                    l_max=l_max,
+                    estimates=False,
+                )
+            conformance = conf.to_dict()
+        return {
+            "nc": nc,
+            "des": des,
+            "metrics": metrics_out,
+            "conformance": conformance,
+            "elapsed": time.perf_counter() - t0,
+        }
     except Exception as exc:  # noqa: BLE001 - per-point isolation
         return {"error": f"{type(exc).__name__}: {exc}", "elapsed": time.perf_counter() - t0}
 
@@ -153,7 +205,16 @@ class PointResult:
     elapsed: float
     nc: Mapping[str, Any] | None
     des: Mapping[str, Any] | None
+    metrics: Mapping[str, Any] | None = None
+    conformance: Mapping[str, Any] | None = None
     error: str | None = None
+
+    @property
+    def conformance_ok(self) -> bool | None:
+        """The point's conformance verdict (``None`` when unchecked)."""
+        if self.conformance is None:
+            return None
+        return bool(self.conformance.get("ok"))
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able rendering (artifact-store row)."""
@@ -166,6 +227,10 @@ class PointResult:
             "elapsed": self.elapsed,
             "nc": dict(self.nc) if self.nc is not None else None,
             "des": dict(self.des) if self.des is not None else None,
+            "metrics": dict(self.metrics) if self.metrics is not None else None,
+            "conformance": (
+                dict(self.conformance) if self.conformance is not None else None
+            ),
             "error": self.error,
         }
 
@@ -196,6 +261,16 @@ class SweepResult:
         """Points that failed to evaluate."""
         return [r for r in self.results if r.error is not None]
 
+    @property
+    def conformance_counts(self) -> tuple[int, int, int]:
+        """``(passed, failed, unchecked)`` over the points."""
+        verdicts = [r.conformance_ok for r in self.results]
+        return (
+            sum(1 for v in verdicts if v is True),
+            sum(1 for v in verdicts if v is False),
+            sum(1 for v in verdicts if v is None),
+        )
+
     def comparable(self) -> list[dict[str, Any]]:
         """Run-invariant view for cross-mode identity checks."""
         return [r.comparable() for r in self.results]
@@ -203,14 +278,22 @@ class SweepResult:
     def summary(self) -> str:
         """Human-readable run accounting."""
         compute = sum(r.elapsed for r in self.results if not r.cached)
+        lookups = self.cache_hits + self.cache_misses
+        hit_rate = f" ({self.cache_hits / lookups:.0%} hit-rate)" if lookups else ""
         lines = [
             f"== sweep: {self.pipeline_name} ==",
             f"points             {self.n_points}",
             f"mode               {self.mode} (jobs={self.jobs})",
             f"wall time          {self.elapsed:.3f} s",
             f"compute time       {compute:.3f} s (sum over evaluated points)",
-            f"cache              {self.cache_hits} hits / {self.cache_misses} misses",
+            f"cache              {self.cache_hits} hits / {self.cache_misses} misses{hit_rate}",
         ]
+        passed, failed, unchecked = self.conformance_counts
+        if passed or failed:
+            line = f"conformance        {passed} pass / {failed} fail"
+            if unchecked:
+                line += f" ({unchecked} unchecked)"
+            lines.append(line)
         if self.errors:
             lines.append(f"errors             {len(self.errors)} points failed")
         return "\n".join(lines)
@@ -292,6 +375,8 @@ def run_sweep(
             elapsed=float(out.get("elapsed", 0.0)),
             nc=out.get("nc"),
             des=out.get("des"),
+            metrics=out.get("metrics"),
+            conformance=out.get("conformance"),
             error=out.get("error"),
         )
         results.append(result)

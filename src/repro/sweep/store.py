@@ -7,7 +7,8 @@ One sweep run writes three files into its output directory:
     the full-fidelity record;
 ``results.csv``
     the same points flattened to one row per point (``param:*``,
-    ``nc:*``, ``des:*`` columns) for spreadsheets and plotting;
+    ``nc:*``, ``des:*``, ``conf:*`` columns) for spreadsheets and
+    plotting;
 ``manifest.json``
     run-level accounting: the grid axes, evaluation options, execution
     mode, wall/compute time, cache hit/miss counts, library version —
@@ -44,6 +45,9 @@ def result_rows(result: SweepResult) -> list[dict[str, Any]]:
             if values:
                 for k, v in values.items():
                     row[f"{section}:{k}"] = v
+        if r.conformance is not None:
+            for k in ("ok", "estimate", "n_violations", "delay_margin"):
+                row[f"conf:{k}"] = r.conformance.get(k)
         if r.error is not None:
             row["error"] = r.error
         rows.append(row)
@@ -86,6 +90,9 @@ def write_artifacts(
         "compute_time": sum(r.elapsed for r in result.results if not r.cached),
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
+        "conformance": dict(
+            zip(("passed", "failed", "unchecked"), result.conformance_counts)
+        ),
         "n_errors": len(result.errors),
         "point_timings": [
             {"index": r.index, "elapsed": r.elapsed, "cached": r.cached}

@@ -1,0 +1,116 @@
+"""The observation protocol between the DES engines and telemetry sinks.
+
+A :class:`SimProbe` is a bundle of callbacks the simulation machinery
+invokes at interesting moments — kernel event dispatch, queue-level
+transitions, job service spans, source emissions, sink departures.
+Every hook site guards with ``if probe is not None`` so untraced runs
+pay a single pointer comparison and nothing else; the base class
+implements every callback as a no-op so sinks override only what they
+consume.
+
+The protocol is duck-typed on purpose: :mod:`repro.des` never imports
+this module (no layering cycle), it just calls these method names on
+whatever object it was handed.  :class:`MultiProbe` fans one hook
+stream out to several sinks (e.g. a tracer *and* a metrics registry in
+the same run).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["SimProbe", "MultiProbe", "ServiceLog"]
+
+
+class SimProbe:
+    """No-op base class for simulation observers.
+
+    Time arguments are simulation seconds; byte counts are
+    input-referred, matching the rest of the library.
+    """
+
+    def kernel_event(self, t: float, event: Any) -> None:
+        """One DES kernel event was dispatched (``Environment.step``)."""
+
+    def queue_level(self, queue: str, t: float, level: float) -> None:
+        """A queue/store/container changed to ``level`` at time ``t``."""
+
+    def source_packet(self, t: float, nbytes: float) -> None:
+        """The workload source admitted ``nbytes`` into the pipeline."""
+
+    def job_start(self, stage: str, t: float, nbytes: float) -> None:
+        """Stage ``stage`` initiated a job over ``nbytes`` at ``t``."""
+
+    def job_end(
+        self, stage: str, t_start: float, t_end: float, nbytes: float, first: bool
+    ) -> None:
+        """Stage ``stage`` finished the job started at ``t_start``.
+
+        ``first`` marks the stage's first job, which additionally pays
+        the one-time startup (pipeline-fill) latency.
+        """
+
+    def sink_departure(
+        self, t: float, nbytes: float, born_first: float, born_last: float
+    ) -> None:
+        """``nbytes`` left the pipeline; birth stamps give the delays."""
+
+    def run_end(self, t: float) -> None:
+        """The simulation drained at time ``t``."""
+
+
+class MultiProbe(SimProbe):
+    """Fan one probe stream out to several sinks, in order."""
+
+    def __init__(self, probes: Sequence[SimProbe]) -> None:
+        self.probes = list(probes)
+
+    def kernel_event(self, t: float, event: Any) -> None:
+        for p in self.probes:
+            p.kernel_event(t, event)
+
+    def queue_level(self, queue: str, t: float, level: float) -> None:
+        for p in self.probes:
+            p.queue_level(queue, t, level)
+
+    def source_packet(self, t: float, nbytes: float) -> None:
+        for p in self.probes:
+            p.source_packet(t, nbytes)
+
+    def job_start(self, stage: str, t: float, nbytes: float) -> None:
+        for p in self.probes:
+            p.job_start(stage, t, nbytes)
+
+    def job_end(
+        self, stage: str, t_start: float, t_end: float, nbytes: float, first: bool
+    ) -> None:
+        for p in self.probes:
+            p.job_end(stage, t_start, t_end, nbytes, first)
+
+    def sink_departure(
+        self, t: float, nbytes: float, born_first: float, born_last: float
+    ) -> None:
+        for p in self.probes:
+            p.sink_departure(t, nbytes, born_first, born_last)
+
+    def run_end(self, t: float) -> None:
+        for p in self.probes:
+            p.run_end(t)
+
+
+class ServiceLog(SimProbe):
+    """Collects raw per-job service spans for conformance checking.
+
+    ``spans`` holds ``(stage, t_start, t_end, nbytes, first)`` tuples in
+    completion order — exactly what
+    :func:`repro.telemetry.conformance.check_stage_service` replays
+    against the modelled per-job execution-time ranges.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[tuple[str, float, float, float, bool]] = []
+
+    def job_end(
+        self, stage: str, t_start: float, t_end: float, nbytes: float, first: bool
+    ) -> None:
+        self.spans.append((stage, t_start, t_end, nbytes, first))

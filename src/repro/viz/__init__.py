@@ -1,11 +1,12 @@
 """Figure rendering: ASCII plots, CSV export, and the paper's figures."""
 
-from .ascii_plot import ascii_plot
+from .ascii_plot import ascii_histogram, ascii_plot
 from .csvout import series_to_csv, write_series_csv
 from .figures import FigureData, figure1, figure4, figure10
 
 __all__ = [
     "ascii_plot",
+    "ascii_histogram",
     "series_to_csv",
     "write_series_csv",
     "FigureData",

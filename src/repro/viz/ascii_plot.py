@@ -9,11 +9,12 @@ between the arrival and service curves, etc.).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import math
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["ascii_plot"]
+__all__ = ["ascii_plot", "ascii_histogram"]
 
 _MARKERS = "*o+x#@%&"
 
@@ -83,4 +84,48 @@ def ascii_plot(
     lines.append(f"x: [{x_lo:.6g}, {x_hi:.6g}] {xlabel}")
     lines.append(f"y: [{y_lo:.6g}, {y_hi:.6g}] {ylabel}")
     lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _format_edge(value: float, fmt: Callable[[float], str] | None) -> str:
+    """Render one bucket edge; infinities stay symbolic."""
+    if math.isinf(value):
+        return "-inf" if value < 0 else "+inf"
+    return fmt(value) if fmt is not None else f"{value:.4g}"
+
+
+def ascii_histogram(
+    buckets: Sequence[tuple[float, float, int]],
+    *,
+    title: str = "",
+    width: int = 46,
+    fmt: Callable[[float], str] | None = None,
+) -> str:
+    """Render ``(lo, hi, count)`` buckets as horizontal bars.
+
+    Bars scale to the largest count (at most ``width`` ``#`` marks; any
+    nonzero count draws at least one).  ``fmt`` formats the bucket edges
+    (e.g. :func:`repro.units.format_seconds`); infinite edges (the
+    under/overflow buckets) print as ``-inf``/``+inf``.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    rows = [(lo, hi, int(c)) for lo, hi, c in buckets]
+    if any(c < 0 for _, _, c in rows):
+        raise ValueError("bucket counts must be non-negative")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    peak = max(c for _, _, c in rows)
+    labels = [
+        f"[{_format_edge(lo, fmt)}, {_format_edge(hi, fmt)})" for lo, hi, _ in rows
+    ]
+    label_w = max(len(s) for s in labels)
+    count_w = len(str(peak))
+    for (lo, hi, count), label in zip(rows, labels):
+        bar = "#" * (max(1, round(count / peak * width)) if count else 0)
+        lines.append(f"{label:>{label_w}} {count:>{count_w}} {bar}")
     return "\n".join(lines)

@@ -93,3 +93,22 @@ class TestCliDeterminism:
         main(["simulate", "bitw", "--workload-mib", "2", "--seed", "12"])
         b = capsys.readouterr().out
         assert a != b
+
+    def test_traced_run_byte_identical(self, tmp_path, capsys):
+        """Fixed seed, two traced `repro simulate` runs: the exported
+        Chrome trace JSON must be byte-identical (the tracer must not
+        smuggle wall-clock time or dict-order nondeterminism into the
+        artifact)."""
+        from repro.cli import main
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            argv = [
+                "simulate", "bitw", "--workload-mib", "2", "--seed", "11",
+                "--trace", str(path), "--metrics",
+            ]
+            assert main(argv) == 0
+            capsys.readouterr()
+        a, b = (p.read_bytes() for p in paths)
+        assert a == b
+        assert a  # non-empty artifact

@@ -1,0 +1,128 @@
+"""Bound-vs-observed conformance across engines (the PR's acceptance bar).
+
+For the paper's two applications and a randomized family of stable
+pipelines, every discrete-event observation must respect the
+network-calculus envelopes: job latencies stay below ``h(alpha, beta)``
+and cumulative arrivals below ``alpha(t) + l_max``.  A failure here is
+a bug in one of the two engines or in the model wiring between them —
+and its message must say *where* (stage) and *when* (time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import blast_conformance
+from repro.apps.bump_in_the_wire import bitw_conformance
+from repro.streaming import Pipeline, Source, Stage
+from repro.telemetry import run_conformance
+from repro.units import KiB, MiB
+
+
+class TestPaperApps:
+    @pytest.fixture(scope="class")
+    def blast(self):
+        return blast_conformance()
+
+    @pytest.fixture(scope="class")
+    def bitw(self):
+        return bitw_conformance()
+
+    @pytest.mark.parametrize("app", ["blast", "bitw"])
+    def test_zero_violations(self, app, request):
+        report = request.getfixturevalue(app)
+        assert report.ok, "\n".join(v.message for v in report.violations)
+        assert not report.violations
+
+    @pytest.mark.parametrize("app", ["blast", "bitw"])
+    def test_every_job_latency_below_delay_bound(self, app, request):
+        report = request.getfixturevalue(app)
+        delay = report.check("delay.end_to_end")
+        assert delay.n_observations > 0
+        assert delay.worst_observed <= delay.bound * 1.001
+
+    @pytest.mark.parametrize("app", ["blast", "bitw"])
+    def test_arrivals_within_alpha_plus_packet(self, app, request):
+        report = request.getfixturevalue(app)
+        assert report.check("arrival.source").ok
+
+    def test_paper_apps_are_transient_regime(self, blast, bitw):
+        # both case studies are unstable (R_alpha > R_beta): their
+        # delay/backlog figures are the paper's closed-form estimates
+        assert blast.bounds_are_estimates
+        assert bitw.bounds_are_estimates
+
+    def test_blast_margin_is_paperlike(self, blast):
+        # paper: longest observed 46.4 ms against the 46.9 ms estimate
+        delay = blast.check("delay.end_to_end")
+        assert 0 < delay.margin < 0.10
+
+
+def _random_pipeline(seed: int) -> Pipeline:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 5))
+    stages = []
+    min_rates = []
+    for i in range(n):
+        base = float(rng.uniform(150, 700)) * MiB
+        spread = float(rng.uniform(1.05, 1.4))
+        job = float(rng.choice([128 * KiB, 256 * KiB, 512 * KiB]))
+        stages.append(
+            Stage(
+                f"s{i}",
+                avg_rate=base,
+                min_rate=base / spread,
+                max_rate=base * spread,
+                latency=float(rng.uniform(1e-4, 2e-3)),
+                job_bytes=job,
+            )
+        )
+        min_rates.append(base / spread)
+    source = Source(
+        rate=0.8 * min(min_rates),
+        burst=float(rng.uniform(0, 2)) * MiB,
+        packet_bytes=64 * KiB,
+    )
+    return Pipeline(f"rand{seed}", source, stages)
+
+
+class TestRandomizedFamily:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stable_pipelines_conform(self, seed):
+        pipe = _random_pipeline(seed)
+        report = run_conformance(pipe, workload=16 * MiB, seed=seed)
+        assert not report.bounds_are_estimates  # theorem bounds, not estimates
+        assert report.ok, "\n".join(v.message for v in report.violations)
+        delay = report.check("delay.end_to_end")
+        assert delay.n_observations > 0
+        assert delay.worst_observed <= delay.bound * 1.001
+        assert report.check("arrival.source").ok
+        assert report.check("backlog.system").ok
+
+    def test_violation_message_names_stage_and_time(self):
+        """Shrink the bounds until checks fail; the diagnostics must
+        locate the violation (stage name and timestamp)."""
+        from repro.telemetry import evaluate_conformance, valid_bounds
+        from repro.streaming import simulate
+
+        pipe = _random_pipeline(0)
+        sim = simulate(pipe, workload=8 * MiB, seed=0)
+        _delay, _backlog, alpha, _est = valid_bounds(pipe)
+        report = evaluate_conformance(
+            pipe.name, sim, delay=1e-12, backlog=1.0, alpha=alpha,
+            l_max=pipe.source.packet_bytes,
+        )
+        assert not report.ok
+        stages = {s.name for s in sim.stages}
+        queue_violations = [
+            v for v in report.violations if v.check.startswith("queue.")
+        ]
+        assert queue_violations
+        for v in queue_violations:
+            assert v.stage in stages
+        delay_violations = [
+            v for v in report.violations if v.check == "delay.end_to_end"
+        ]
+        assert delay_violations
+        for v in delay_violations:
+            assert np.isfinite(v.time) and 0 <= v.time <= sim.makespan
+            assert f"t={v.time:.9g}" in v.message

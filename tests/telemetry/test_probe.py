@@ -1,0 +1,90 @@
+"""Probe protocol tests: fan-out, ServiceLog, and the resource hooks."""
+
+from repro.des import Container, Environment, Store
+from repro.telemetry import MultiProbe, ServiceLog, SimProbe
+
+
+class LevelRecorder(SimProbe):
+    def __init__(self):
+        self.levels = []
+
+    def queue_level(self, name, t, level):
+        self.levels.append((name, t, level))
+
+
+class TestResourceHooks:
+    def test_store_reports_levels(self):
+        env = Environment()
+        probe = LevelRecorder()
+        store = Store(env, capacity=2, name="box", probe=probe)
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1.0)
+
+        def consumer(env):
+            yield env.timeout(2.5)
+            for _ in range(3):
+                yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert probe.levels
+        assert all(name == "box" for name, _, _ in probe.levels)
+        assert max(level for _, _, level in probe.levels) == 2
+        assert probe.levels[-1][2] == 0
+        times = [t for _, t, _ in probe.levels]
+        assert times == sorted(times)
+
+    def test_container_reports_levels(self):
+        env = Environment()
+        probe = LevelRecorder()
+        tank = Container(env, capacity=10.0, init=5.0, name="tank", probe=probe)
+
+        def proc(env):
+            yield tank.put(3.0)
+            yield tank.get(8.0)
+
+        env.process(proc(env))
+        env.run()
+        levels = [level for _, _, level in probe.levels]
+        assert 8.0 in levels and 0.0 in levels
+
+    def test_unprobed_resources_stay_silent(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+
+        def proc(env):
+            yield store.put(1)
+            yield store.get()
+
+        env.process(proc(env))
+        env.run()  # no probe, no AttributeError: hooks are fully guarded
+
+
+class TestMultiProbe:
+    def test_fans_out_to_all(self):
+        a, b = LevelRecorder(), LevelRecorder()
+        multi = MultiProbe([a, b])
+        multi.queue_level("q", 1.0, 2.0)
+        assert a.levels == b.levels == [("q", 1.0, 2.0)]
+
+    def test_default_probe_methods_are_noops(self):
+        p = SimProbe()
+        p.kernel_event(0.0, None)
+        p.queue_level("q", 0.0, 0.0)
+        p.source_packet(0.0, 1.0)
+        p.job_start("s", 0.0, 1.0)
+        p.job_end("s", 0.0, 1.0, 1.0, True)
+        p.sink_departure(1.0, 1.0, 0.0, 0.5)
+        p.run_end(1.0)
+
+
+class TestServiceLog:
+    def test_collects_spans(self):
+        log = ServiceLog()
+        log.job_start("s", 0.0, 4.0)
+        log.job_end("s", 0.0, 2.0, 4.0, True)
+        assert log.spans == [("s", 0.0, 2.0, 4.0, True)]

@@ -1,0 +1,130 @@
+"""Tracer tests: Chrome trace-event schema, ring buffer, determinism."""
+
+import json
+
+import pytest
+
+from repro.apps.bump_in_the_wire import bitw_simulation
+from repro.telemetry import TRACE_SCHEMA_PHASES, Tracer
+from repro.units import MiB
+
+#: keys every exported event must carry, per phase
+_REQUIRED_KEYS = {
+    "X": {"name", "cat", "ph", "ts", "dur", "pid", "tid"},
+    "i": {"name", "cat", "ph", "ts", "pid", "tid", "s"},
+    "C": {"name", "cat", "ph", "ts", "pid", "tid", "args"},
+    "M": {"name", "cat", "ph", "pid", "tid", "args"},
+}
+
+
+def validate_chrome_trace(doc):
+    """Assert ``doc`` is a loadable Chrome/Perfetto trace-event object."""
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    for ev in doc["traceEvents"]:
+        ph = ev["ph"]
+        assert ph in TRACE_SCHEMA_PHASES, f"unexpected phase {ph!r}"
+        missing = _REQUIRED_KEYS[ph] - set(ev)
+        assert not missing, f"{ph} event missing {missing}: {ev}"
+        if "ts" in ev:
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ph == "X":
+            assert ev["dur"] >= 0
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+    other = doc["otherData"]
+    assert other["emitted"] == other["retained"] + other["dropped"]
+    assert other["retained"] <= other["capacity"]
+
+
+def _traced_run(**kwargs):
+    tracer = Tracer(**kwargs)
+    bitw_simulation(workload=MiB // 4, probe=tracer)
+    return tracer
+
+
+class TestSchema:
+    def test_traced_run_is_valid_chrome_trace(self):
+        tracer = _traced_run()
+        doc = tracer.to_chrome()
+        validate_chrome_trace(doc)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        # spans, instants, counters, and thread-name metadata all present
+        assert phases == set(TRACE_SCHEMA_PHASES)
+
+    def test_stage_spans_and_thread_names(self):
+        doc = _traced_run().to_chrome()
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["cat"] for e in spans} >= {"stage.encrypt", "stage.compress"}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"source", "sink", "stage:encrypt"} <= names
+
+    def test_counter_tracks_per_queue(self):
+        doc = _traced_run().to_chrome()
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert "q->encrypt" in counters
+
+    def test_sink_instants_carry_delays(self):
+        doc = _traced_run().to_chrome()
+        departures = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "departure"
+        ]
+        assert departures
+        for e in departures:
+            assert e["args"]["delay_first"] >= e["args"]["delay_last"] >= 0
+
+    def test_written_file_parses_and_validates(self, tmp_path):
+        tracer = _traced_run()
+        path = tracer.write(tmp_path / "trace.json")
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_kernel_events_opt_in(self):
+        quiet = _traced_run()
+        noisy = _traced_run(kernel_events=True)
+        kernel = [
+            e for e in noisy.to_chrome()["traceEvents"] if e["cat"] == "des.kernel"
+        ]
+        assert kernel and noisy.emitted > quiet.emitted
+        assert not [
+            e for e in quiet.to_chrome()["traceEvents"] if e["cat"] == "des.kernel"
+        ]
+
+
+class TestRingBuffer:
+    def test_eviction_accounting(self):
+        tracer = _traced_run(capacity=100)
+        assert len(tracer) == 100
+        assert tracer.dropped == tracer.emitted - 100
+        assert tracer.dropped > 0
+
+    def test_metadata_survives_eviction(self):
+        doc = _traced_run(capacity=10).to_chrome()
+        validate_chrome_trace(doc)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        # thread names regenerated at export despite full eviction churn
+        assert {"stage:encrypt", "source", "sink"} <= {
+            e["args"]["name"] for e in meta
+        }
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_export(self, tmp_path):
+        a = _traced_run().write(tmp_path / "a.json")
+        b = _traced_run().write(tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        t1, t2 = Tracer(), Tracer()
+        bitw_simulation(workload=MiB // 4, seed=1, probe=t1)
+        bitw_simulation(workload=MiB // 4, seed=2, probe=t2)
+        a = t1.write(tmp_path / "a.json")
+        b = t2.write(tmp_path / "b.json")
+        assert a.read_bytes() != b.read_bytes()

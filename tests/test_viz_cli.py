@@ -284,3 +284,136 @@ class TestCliSweep:
         with pytest.raises(SystemExit) as exc:
             main(["sweep", "blast", "--grid", "scale:nope=1,2"])
         assert "bad sweep grid" in str(exc.value)
+
+
+class TestAsciiHistogram:
+    def _buckets(self):
+        import math
+
+        return [(-math.inf, 1.0, 2), (1.0, 2.0, 10), (2.0, math.inf, 1)]
+
+    def test_renders_edges_counts_and_bars(self):
+        from repro.viz import ascii_histogram
+
+        out = ascii_histogram(self._buckets(), title="lat")
+        assert "lat" in out
+        assert "[-inf, 1)" in out  # open-ended buckets spelled out
+        assert "[1, 2)" in out and "[2, +inf)" in out
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert len(lines) == 3
+        # the peak bucket owns the longest bar
+        peak = max(lines, key=lambda l: l.count("#"))
+        assert "[1, 2)" in peak
+
+    def test_zero_count_bucket_gets_no_bar(self):
+        from repro.viz import ascii_histogram
+
+        out = ascii_histogram([(0.0, 1.0, 0), (1.0, 2.0, 5)])
+        zero_line = next(l for l in out.splitlines() if "[0, 1)" in l)
+        assert "#" not in zero_line
+
+    def test_custom_edge_format(self):
+        from repro.viz import ascii_histogram
+
+        out = ascii_histogram(
+            [(0.001, 0.01, 3)], fmt=lambda v: f"{v * 1e3:g}ms"
+        )
+        assert "[1ms, 10ms)" in out
+
+    def test_empty_and_invalid(self):
+        from repro.viz import ascii_histogram
+
+        assert "(no samples)" in ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram(self._buckets(), width=0)
+        with pytest.raises(ValueError):
+            ascii_histogram([(0.0, 1.0, -1)])
+
+    def test_bar_scaling_is_relative_to_peak(self):
+        from repro.viz import ascii_histogram
+
+        out = ascii_histogram([(0.0, 1.0, 1), (1.0, 2.0, 100)], width=40)
+        small = next(l for l in out.splitlines() if "[0, 1)" in l)
+        big = next(l for l in out.splitlines() if "[1, 2)" in l)
+        assert big.count("#") == 40
+        assert small.count("#") == 1  # nonzero counts always visible
+
+
+class TestCliTelemetry:
+    def test_simulate_trace_writes_valid_artifact(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+        from tests.telemetry.test_trace import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        argv = [
+            "simulate", "bitw", "--workload-mib", "1",
+            "--trace", str(path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(path) in out
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_simulate_metrics_prints_histograms(self, capsys):
+        from repro.cli import main
+
+        argv = ["simulate", "bitw", "--workload-mib", "1", "--metrics"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "job.latency_s" in out
+        assert "#" in out
+
+    @pytest.mark.parametrize("app", ["blast", "bitw"])
+    def test_conformance_apps_pass(self, app, capsys):
+        """Acceptance criterion: both paper parameterizations conform."""
+        from repro.cli import main
+
+        assert main(["conformance", app]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "delay.end_to_end" in out
+
+    def test_conformance_file_app(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bitw.json"
+        main(["export", "bitw", str(path)])
+        capsys.readouterr()
+        argv = [
+            "conformance", "file", "--file", str(path),
+            "--workload-mib", "1",
+        ]
+        status = main(argv)
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert status in (0, 1)
+
+    def test_conformance_failure_exits_nonzero(self, capsys, monkeypatch):
+        """A violated bound must flip the exit code (CI contract)."""
+        import repro.apps.blast as blast_mod
+        from repro.cli import main
+        from repro.telemetry import ConformanceReport, Violation
+        from repro.telemetry.conformance import CheckResult
+
+        bad = CheckResult(
+            name="delay.end_to_end",
+            stage="end-to-end",
+            bound=1e-9,
+            worst_observed=1.0,
+            n_observations=1,
+            violations=(
+                Violation(
+                    check="delay.end_to_end", stage="end-to-end",
+                    time=1.0, observed=1.0, bound=1e-9,
+                ),
+            ),
+        )
+        report = ConformanceReport("x", False, (bad,))
+        monkeypatch.setattr(
+            blast_mod, "blast_conformance", lambda **kw: report
+        )
+        assert main(["conformance", "blast"]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
