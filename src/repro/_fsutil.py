@@ -1,0 +1,45 @@
+"""Atomic filesystem writes shared by every artifact producer.
+
+Concurrent writers (parallel sweeps, the analysis server's worker pool,
+overlapping CI jobs) must never leave a torn file where a reader — or
+another writer — expects a complete JSON/CSV document.  The standard
+POSIX answer is write-to-temp-then-rename: ``os.replace`` is atomic on
+the same filesystem, so observers see either the old content or the new,
+never a prefix.
+
+The temp file is created with :func:`tempfile.mkstemp` *in the target
+directory* — unique per call, so two threads of one process (same PID)
+or two processes racing on the same path cannot collide on the
+intermediate name, and the final rename never crosses a filesystem
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: "str | Path", text: str, *, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path.
+
+    Creates parent directories as needed.  On any failure the temp file
+    is removed and the destination is left untouched.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(out.parent), prefix=f".{out.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp, out)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return out

@@ -22,7 +22,15 @@ Commands
 ``repro sweep {blast,bitw,file} --grid AXIS=VALUES ...``
     evaluate a parameter grid of pipeline variants, optionally in
     parallel (``--jobs N``), with a content-addressed result cache
-    (``--cache-dir D``) and JSON/CSV artifacts (``--out D``).
+    (``--cache-dir D``) and JSON/CSV artifacts (``--out D``);
+``repro serve [--port P] [--workers N] [--slo-ms D] [--rate R] ...``
+    run the long-lived analysis service (newline-delimited JSON over
+    TCP) with NC-self-applied admission control — see
+    :mod:`repro.serve`;
+``repro request {ping,analyze,simulate,capacity,stats,shutdown} ...``
+    issue one request to a running server and print the response;
+``repro cache DIR [--stats | --clear | --max-age S]``
+    inspect or prune a content-addressed result cache directory.
 """
 
 from __future__ import annotations
@@ -118,6 +126,65 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("--workload-mib", type=float, default=None, help="workload per point in MiB")
     pw.add_argument("--seed", type=int, default=42, help="base seed for per-point DES seeds")
     pw.add_argument("--packetized", action="store_true", help="use packetized service curves")
+
+    pv = sub.add_parser("serve", help="run the analysis service (NDJSON over TCP)")
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=7421, help="0 picks an ephemeral port")
+    pv.add_argument("--workers", type=int, default=None, help="worker processes")
+    pv.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="delay SLO for admitted requests; with no --rate, the admission "
+        "envelope is derived from the calibrated service curve",
+    )
+    pv.add_argument("--rate", type=float, default=None, help="admission rate R (requests/s)")
+    pv.add_argument("--burst", type=float, default=None, help="admission burst b (requests)")
+    pv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="coalesce compatible requests arriving within this window",
+    )
+    pv.add_argument("--max-batch", type=int, default=16)
+    pv.add_argument("--timeout-s", type=float, default=30.0, help="per-request timeout")
+    pv.add_argument("--drain-timeout-s", type=float, default=10.0)
+    pv.add_argument("--cache-dir", type=Path, default=None, help="content-addressed result cache")
+    pv.add_argument(
+        "--calibrate", type=int, default=6, help="calibration evaluations at startup"
+    )
+
+    pq = sub.add_parser("request", help="issue one request to a running server")
+    pq.add_argument(
+        "op", choices=["ping", "analyze", "simulate", "capacity", "stats", "shutdown"]
+    )
+    pq.add_argument("--host", default="127.0.0.1")
+    pq.add_argument("--port", type=int, default=7421)
+    pq.add_argument("--app", choices=["blast", "bitw"], default=None, help="built-in model")
+    pq.add_argument("--file", type=Path, default=None, help="pipeline model JSON")
+    pq.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="AXIS=VALUE",
+        help="sweep-axis parameter, e.g. scale:network=2 (repeatable)",
+    )
+    pq.add_argument("--workload-mib", type=float, default=None)
+    pq.add_argument("--seed", type=int, default=None)
+    pq.add_argument("--packetized", action="store_true")
+    pq.add_argument("--timeout", type=float, default=60.0, help="client socket timeout")
+
+    ph = sub.add_parser("cache", help="inspect or prune a result-cache directory")
+    ph.add_argument("dir", type=Path, help="cache directory (as given to --cache-dir)")
+    ph.add_argument("--stats", action="store_true", help="print size/age stats (default)")
+    ph.add_argument("--clear", action="store_true", help="remove every entry")
+    ph.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="prune entries older than this many seconds",
+    )
     return p
 
 
@@ -338,6 +405,108 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> tuple[str, int]:
+    from .serve import ServeConfig
+    from .serve.server import run
+
+    if args.timeout_s <= 0:
+        raise SystemExit("--timeout-s must be > 0")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        slo_s=args.slo_ms / 1e3 if args.slo_ms is not None else None,
+        rate=args.rate,
+        burst=args.burst,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        request_timeout_s=args.timeout_s,
+        drain_timeout_s=args.drain_timeout_s,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        calibrate=args.calibrate,
+    )
+    try:
+        status = run(config)
+    except ValueError as exc:
+        raise SystemExit(f"bad serve configuration: {exc}")
+    return "", status  # run() prints its own listening/drain lines
+
+
+def _parse_request_params(pairs: "list[str]") -> dict:
+    params: dict = {}
+    for pair in pairs:
+        axis, sep, value = pair.partition("=")
+        if not sep or not axis:
+            raise SystemExit(f"bad --param {pair!r} (expected AXIS=VALUE)")
+        try:
+            params[axis] = float(value)
+        except ValueError:
+            params[axis] = value  # string-valued axes (e.g. scenario=worst)
+    return params
+
+
+def _cmd_request(args: argparse.Namespace) -> tuple[str, int]:
+    import json
+
+    from .serve import ServeClient
+    from .streaming import pipeline_to_dict
+
+    model = None
+    if args.op in ("analyze", "simulate"):
+        if args.file is not None:
+            model = pipeline_to_dict(_load_model_file(args.file))
+        elif args.app is not None:
+            model = pipeline_to_dict(_pipeline_for(args.app))
+        else:
+            raise SystemExit(f"op {args.op!r} needs --app or --file for the model")
+    options: dict = {}
+    if args.workload_mib is not None:
+        options["workload_mib"] = args.workload_mib
+    if args.seed is not None:
+        options["seed"] = args.seed
+    if args.packetized:
+        options["packetized"] = True
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            response = client.request(
+                args.op,
+                model=model,
+                params=_parse_request_params(args.param) or None,
+                options=options or None,
+            )
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {exc}")
+    return json.dumps(response, indent=1), 0 if response.get("ok") else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> tuple[str, int]:
+    from .sweep import ResultCache
+    from .units import format_seconds
+
+    if not args.dir.is_dir():
+        raise SystemExit(f"not a cache directory: {args.dir}")
+    cache = ResultCache(args.dir)
+    lines: list[str] = []
+    if args.clear and args.max_age is not None:
+        raise SystemExit("--clear and --max-age are mutually exclusive")
+    if args.clear:
+        lines.append(f"removed {cache.clear()} entries")
+    elif args.max_age is not None:
+        if args.max_age < 0:
+            raise SystemExit("--max-age must be >= 0")
+        lines.append(f"removed {cache.prune(max_age_s=args.max_age)} entries")
+    stats = cache.stats()
+    lines += [
+        f"== cache: {stats['directory']} ==",
+        f"entries            {stats['entries']}",
+        f"size               {stats['bytes'] / 1024:.1f} KiB",
+    ]
+    if stats["oldest_age_s"] is not None:
+        lines.append(f"oldest entry       {format_seconds(stats['oldest_age_s'])} ago")
+        lines.append(f"newest entry       {format_seconds(stats['newest_age_s'])} ago")
+    return "\n".join(lines), 0
+
+
 def _cmd_buffers(args: argparse.Namespace) -> str:
     from .streaming import size_buffers
 
@@ -361,10 +530,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "buffers": _cmd_buffers,
         "export": _cmd_export,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
+        "cache": _cmd_cache,
     }[args.command]
     out = handler(args)
     text, status = out if isinstance(out, tuple) else (out, 0)
-    print(text)
+    if text:
+        print(text)
     return status
 
 

@@ -48,6 +48,11 @@ def _inverse_pieces(f: Curve) -> tuple[list[Point], list[Segment]]:
 
     prev_level = 0.0  # highest level covered so far on the y axis
     for p, s in zip(f_pts, f_segs):
+        # left-discontinuity at p.x (previous piece's left limit below
+        # the breakpoint value, e.g. a staircase step): the jumped-over
+        # levels are first and last reached at exactly p.x
+        if p.y > prev_level:
+            segs.append(Segment(prev_level, p.y, p.x, 0.0))
         # the exact value at the breakpoint
         if p.y >= prev_level:
             pts.append(Point(p.y, p.x))

@@ -1,0 +1,64 @@
+"""Long-lived analysis service with NC-self-applied admission control.
+
+The ROADMAP's production-scale north star needs a serving layer: this
+subsystem exposes the reproduction's analyses (NC bounds, DES
+validation, sweep points) as a concurrent network service — and models
+*itself* with the paper's own machinery.  The admission token bucket is
+the arrival curve ``alpha(t) = R t + b``; the calibrated worker pool is
+the rate-latency service curve ``beta(t) = R_beta (t - T)``; the
+``/capacity`` endpoint reports the resulting delay bound
+``T + b / R_beta`` and admission rejects (never queues) whatever would
+break it.
+
+* :mod:`repro.serve.protocol`  — newline-delimited-JSON wire schema;
+* :mod:`repro.serve.admission` — token bucket + NC self-model;
+* :mod:`repro.serve.batching`  — job-ratio request coalescing;
+* :mod:`repro.serve.server`    — asyncio listener + process pool;
+* :mod:`repro.serve.client`    — blocking client (``repro request``).
+
+Served evaluations share content-addressed cache entries with
+:mod:`repro.sweep` — a point analyzed by a sweep is a cache hit when
+requested over the wire, and vice versa.
+"""
+
+from .admission import AdmissionController, SelfModel, TokenBucket
+from .batching import Coalescer, evaluate_batch, recommended_window
+from .client import ServeClient, ServeClosedError
+from .protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    parse_response,
+)
+from .server import AnalysisServer, ServeConfig, ServerThread, run
+
+__all__ = [
+    "AdmissionController",
+    "SelfModel",
+    "TokenBucket",
+    "Coalescer",
+    "evaluate_batch",
+    "recommended_window",
+    "ServeClient",
+    "ServeClosedError",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "parse_response",
+    "AnalysisServer",
+    "ServeConfig",
+    "ServerThread",
+    "run",
+]

@@ -1,0 +1,195 @@
+"""Request coalescing: the paper's job-ratio aggregation, applied to RPC.
+
+The paper's §3 models stages that collect ``b_n`` input units before
+dispatching one job, paying a collection latency ``b_n / R_alpha`` in
+exchange for amortized per-job overhead.  The analysis server has the
+same trade: each evaluation shipped to the worker pool pays a fixed
+IPC/pickling cost, so *compatible* requests (same model document, same
+evaluation options) arriving within a short window are coalesced into
+one pool task that evaluates all their parameter points in a single
+process.
+
+The window is the knob from the paper's formula: a batch of ``n``
+requests filling at admitted rate ``R_alpha`` takes ``n / R_alpha``
+seconds to collect (:func:`recommended_window` delegates to
+:func:`repro.streaming.jobratio.aggregation_latency`), and that
+collection time is exactly the latency cost the batch adds — so the
+operator picks the window as the latency budget they are willing to
+spend on amortization, and ``/capacity``'s delay bound still holds as
+long as the window is charged to the dispatch latency ``T``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Any, Awaitable, Callable, Mapping, Sequence
+
+from ..streaming.jobratio import aggregation_latency
+from ..sweep.cache import canonical_json
+from ..sweep.runner import evaluate_point
+
+__all__ = ["evaluate_batch", "recommended_window", "Coalescer"]
+
+#: dispatch callback signature: (model, params list, options, seeds) -> results
+DispatchFn = Callable[
+    [Mapping[str, Any], Sequence[Mapping[str, Any]], Mapping[str, Any], Sequence[int]],
+    Awaitable[Sequence[dict[str, Any]]],
+]
+
+
+def evaluate_batch(
+    model: Mapping[str, Any],
+    params_list: Sequence[Mapping[str, Any]],
+    options: Mapping[str, Any],
+    seeds: Sequence[int],
+) -> list[dict[str, Any]]:
+    """Evaluate several points of one model in a single worker task.
+
+    Module-level so it pickles into the process pool; one IPC round
+    trip covers the whole batch.  Per-point errors stay per-point
+    (:func:`~repro.sweep.runner.evaluate_point` captures them), so one
+    bad point cannot poison its batch-mates.
+    """
+    return [
+        evaluate_point(model, params, options, seed)
+        for params, seed in zip(params_list, seeds)
+    ]
+
+
+def recommended_window(batch_size: float, admitted_rate: float) -> float:
+    """Collection time ``b_n / R_alpha`` for a batch — the paper's formula.
+
+    The window that *just* fills a ``batch_size`` batch at the admitted
+    request rate; any longer only adds latency, any shorter dispatches
+    partial batches.
+    """
+    return aggregation_latency(batch_size, admitted_rate)
+
+
+class _Pending:
+    """One forming batch: the requests that joined, and their futures."""
+
+    __slots__ = ("model", "options", "params_list", "seeds", "futures")
+
+    def __init__(self, model: Mapping[str, Any], options: Mapping[str, Any]) -> None:
+        self.model = model
+        self.options = options
+        self.params_list: list[Mapping[str, Any]] = []
+        self.seeds: list[int] = []
+        self.futures: list[asyncio.Future] = []
+
+
+def batch_key(model: Mapping[str, Any], options: Mapping[str, Any]) -> str:
+    """Compatibility class of a request: same model + same options."""
+    payload = canonical_json({"model": dict(model), "options": dict(options)})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class Coalescer:
+    """Coalesces compatible evaluations arriving within a time window.
+
+    ``submit`` parks each request on the forming batch for its
+    compatibility class; the first request of a class starts the window
+    timer, and when it expires (or the batch hits ``max_batch``) the
+    whole batch goes to ``dispatch`` as one call.  A zero window
+    degenerates to pass-through (batches of one, no timer, no added
+    latency) — the safe default.
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        *,
+        window_s: float = 0.0,
+        max_batch: int = 16,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._dispatch = dispatch
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._pending: dict[str, _Pending] = {}
+        self.batches = 0
+        self.requests = 0
+        self.coalesced = 0  # requests that shared a batch with at least one other
+        self.max_batch_seen = 0
+
+    async def submit(
+        self,
+        model: Mapping[str, Any],
+        params: Mapping[str, Any],
+        options: Mapping[str, Any],
+        seed: int,
+    ) -> dict[str, Any]:
+        """Evaluate one point, possibly riding a coalesced batch."""
+        self.requests += 1
+        if self.window_s == 0.0:
+            self._account(1)
+            return (await self._dispatch(model, [params], options, [seed]))[0]
+        key = batch_key(model, options)
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = _Pending(model, options)
+            self._pending[key] = pending
+            asyncio.get_running_loop().create_task(self._flush_after_window(key))
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        pending.params_list.append(params)
+        pending.seeds.append(seed)
+        pending.futures.append(fut)
+        if len(pending.futures) >= self.max_batch:
+            self._take(key)
+            await self._run(pending)
+        return await fut
+
+    async def _flush_after_window(self, key: str) -> None:
+        await asyncio.sleep(self.window_s)
+        pending = self._take(key)
+        if pending is not None:
+            await self._run(pending)
+
+    def _take(self, key: str) -> "_Pending | None":
+        return self._pending.pop(key, None)
+
+    def _account(self, size: int) -> None:
+        self.batches += 1
+        if size > 1:
+            self.coalesced += size
+        if size > self.max_batch_seen:
+            self.max_batch_seen = size
+
+    async def _run(self, pending: _Pending) -> None:
+        self._account(len(pending.futures))
+        try:
+            results = await self._dispatch(
+                pending.model, pending.params_list, pending.options, pending.seeds
+            )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out to waiters
+            for fut in pending.futures:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for fut, result in zip(pending.futures, results):
+            if not fut.done():
+                fut.set_result(result)
+
+    async def flush(self) -> None:
+        """Dispatch every forming batch immediately (drain path)."""
+        for key in list(self._pending):
+            pending = self._take(key)
+            if pending is not None:
+                await self._run(pending)
+
+    def stats(self) -> dict[str, Any]:
+        """Coalescing effectiveness counters."""
+        return {
+            "window_s": self.window_s,
+            "max_batch": self.max_batch,
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch_size": (self.requests / self.batches) if self.batches else None,
+        }

@@ -1,0 +1,149 @@
+"""Blocking client for the analysis service (plain sockets, stdlib only).
+
+The protocol is a line of JSON each way, so the client is a thin
+convenience layer: connect, frame, correlate ids, decode.  It is what
+``repro request`` uses, what the benchmarks drive load with, and the
+reference for writing clients in other languages.
+
+    with ServeClient(port=7421) as c:
+        c.ping()
+        resp = c.analyze(model_doc, params={"scale:network": 2.0})
+        resp["result"]["nc"]["delay_bound"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from .protocol import PROTOCOL_VERSION, encode, parse_response
+
+__all__ = ["ServeClient", "ServeClosedError"]
+
+
+class ServeClosedError(ConnectionError):
+    """The server closed the connection before answering."""
+
+
+class ServeClient:
+    """One connection to a running analysis server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: "socket.socket | None" = None
+        self._file: Any = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port), self.timeout)
+            # one small frame per request: Nagle + delayed ACK would add
+            # a ~10 ms floor to every round trip
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # requests
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self,
+        op: str,
+        *,
+        model: "Mapping[str, Any] | None" = None,
+        params: "Mapping[str, Any] | None" = None,
+        options: "Mapping[str, Any] | None" = None,
+        id: "str | int | None" = None,
+    ) -> dict[str, Any]:
+        """Send one request and block for its response document."""
+        self.connect()
+        if id is None:
+            self._next_id += 1
+            id = self._next_id
+        doc: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": id, "op": op}
+        if model is not None:
+            doc["model"] = dict(model)
+        if params:
+            doc["params"] = dict(params)
+        if options:
+            doc["options"] = dict(options)
+        self._file.write(encode(doc))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeClosedError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        return parse_response(line)
+
+    # convenience verbs -------------------------------------------------- #
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def capacity(self) -> dict[str, Any]:
+        return self.request("capacity")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit (answered before it does)."""
+        return self.request("shutdown")
+
+    def analyze(
+        self,
+        model: Mapping[str, Any],
+        params: "Mapping[str, Any] | None" = None,
+        **options: Any,
+    ) -> dict[str, Any]:
+        return self.request("analyze", model=model, params=params, options=options)
+
+    def simulate(
+        self,
+        model: Mapping[str, Any],
+        params: "Mapping[str, Any] | None" = None,
+        **options: Any,
+    ) -> dict[str, Any]:
+        return self.request("simulate", model=model, params=params, options=options)
+
+    def sweep_point(
+        self,
+        model: Mapping[str, Any],
+        params: "Mapping[str, Any] | None" = None,
+        **options: Any,
+    ) -> dict[str, Any]:
+        return self.request("sweep_point", model=model, params=params, options=options)

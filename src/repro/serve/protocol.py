@@ -1,0 +1,237 @@
+"""Wire protocol of the analysis service: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, over any byte
+stream (TCP here).  The frame is deliberately trivial — ``readline`` is
+the framing — so clients exist in any language in a dozen lines, and a
+session is inspectable with ``nc``/``socat``.
+
+Request document::
+
+    {"v": 1, "id": "r1", "op": "analyze",
+     "model": {... pipeline model JSON ...},
+     "params": {"scale:network": 2.0},
+     "options": {"packetized": false, "workload_mib": 64, "seed": 42}}
+
+``op`` is one of :data:`OPS`; ``model``/``params``/``options`` are
+required only for the evaluation ops.  ``params`` uses the sweep axis
+vocabulary (:mod:`repro.sweep.spec`), so a served evaluation is
+bit-identical to — and shares cache entries with — the same point of a
+``repro sweep`` run.
+
+Response document::
+
+    {"v": 1, "id": "r1", "ok": true, "status": 200, "result": {...}}
+    {"v": 1, "id": "r1", "ok": false, "status": 429,
+     "error": {"code": "rejected_rate", "message": "...", "retry_after_s": 0.5}}
+
+``status`` follows HTTP semantics (400 malformed, 408 timeout, 413
+oversize, 422 evaluation failed, 429 admission-rejected, 500 internal,
+503 draining) without dragging in an HTTP stack.
+
+Validation is strict and reuses :mod:`repro._validation`: unknown keys,
+wrong types, and non-finite numbers are rejected with a 400 before any
+work is scheduled — a malformed request must never reach the worker
+pool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .._validation import check_finite, check_non_negative
+from ..units import MiB
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "EVAL_OPS",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "evaluation_options",
+    "encode",
+    "ok_response",
+    "error_response",
+    "parse_response",
+]
+
+#: protocol schema version; bump on incompatible wire changes
+PROTOCOL_VERSION = 1
+
+#: hard cap on one request/response line (models are a few KiB; this
+#: leaves ample headroom while bounding a hostile client's memory cost)
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: ops that evaluate a pipeline model on the worker pool
+EVAL_OPS = ("analyze", "simulate", "sweep_point")
+
+#: every operation the server understands
+OPS = ("ping", "capacity", "stats", "shutdown") + EVAL_OPS
+
+_REQUEST_KEYS = {"v", "id", "op", "model", "params", "options"}
+_OPTION_KEYS = {"packetized", "workload_mib", "seed", "simulate"}
+
+
+class ProtocolError(ValueError):
+    """A request the server refuses before doing any work."""
+
+    def __init__(self, message: str, *, status: int = 400, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated request, ready for dispatch."""
+
+    op: str
+    id: "str | int | None" = None
+    model: "dict[str, Any] | None" = None
+    params: dict[str, Any] = field(default_factory=dict)
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+def _check_params(params: Any) -> dict[str, Any]:
+    if not isinstance(params, dict):
+        raise ProtocolError(f"'params' must be an object, got {type(params).__name__}")
+    out: dict[str, Any] = {}
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise ProtocolError("'params' keys must be strings")
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            raise ProtocolError(
+                f"param {key!r} must be a number or string, got {type(value).__name__}"
+            )
+        if isinstance(value, (int, float)):
+            try:
+                check_finite(f"param {key!r}", value)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+        out[key] = value
+    return out
+
+
+def evaluation_options(raw: Mapping[str, Any], *, op: str) -> dict[str, Any]:
+    """Normalize request options to the sweep evaluation-options shape.
+
+    The returned dict — ``{"simulate", "packetized", "workload",
+    "base_seed"}`` — is exactly what :func:`repro.sweep.runner.
+    evaluate_point` consumes and what :func:`repro.sweep.cache.
+    point_key` hashes, so served results are cache-compatible with
+    sweep results.
+    """
+    unknown = set(raw) - _OPTION_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown option(s) {sorted(unknown)}")
+    if "simulate" in raw and op != "sweep_point":
+        raise ProtocolError("option 'simulate' is only valid for op 'sweep_point'")
+    simulate = {"analyze": False, "simulate": True}.get(op, raw.get("simulate", False))
+    if not isinstance(simulate, bool):
+        raise ProtocolError("option 'simulate' must be a boolean")
+    packetized = raw.get("packetized", False)
+    if not isinstance(packetized, bool):
+        raise ProtocolError("option 'packetized' must be a boolean")
+    workload = None
+    if raw.get("workload_mib") is not None:
+        wl = raw["workload_mib"]
+        if isinstance(wl, bool) or not isinstance(wl, (int, float)):
+            raise ProtocolError("option 'workload_mib' must be a number")
+        try:
+            check_non_negative("workload_mib", wl)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        workload = float(wl) * MiB if wl > 0 else None
+    seed = raw.get("seed", 42)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ProtocolError("option 'seed' must be an integer")
+    return {
+        "simulate": simulate,
+        "packetized": packetized,
+        "workload": workload,
+        "base_seed": seed,
+    }
+
+
+def parse_request(line: "str | bytes") -> Request:
+    """Parse and strictly validate one request line.
+
+    Raises :class:`ProtocolError` (with an HTTP-style status) on any
+    violation; never raises anything else for untrusted input.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request exceeds {MAX_LINE_BYTES} bytes", status=413, code="too_large"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not UTF-8: {exc}") from exc
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(doc).__name__}")
+    unknown = set(doc) - _REQUEST_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown request key(s) {sorted(unknown)}")
+    version = doc.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this server speaks "
+            f"v{PROTOCOL_VERSION})",
+            code="bad_version",
+        )
+    req_id = doc.get("id")
+    if req_id is not None and not isinstance(req_id, (str, int)):
+        raise ProtocolError("'id' must be a string or integer")
+    op = doc.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})",
+                            code="unknown_op")
+    model = doc.get("model")
+    params = _check_params(doc.get("params", {}))
+    raw_options = doc.get("options", {})
+    if not isinstance(raw_options, dict):
+        raise ProtocolError("'options' must be an object")
+    if op in EVAL_OPS:
+        if not isinstance(model, dict):
+            raise ProtocolError(f"op {op!r} requires a 'model' object")
+        options = evaluation_options(raw_options, op=op)
+    else:
+        if model is not None or params or raw_options:
+            raise ProtocolError(f"op {op!r} takes no model/params/options")
+        options = {}
+    return Request(op=op, id=req_id, model=model, params=params, options=options)
+
+
+def encode(doc: Mapping[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the terminating newline."""
+    return json.dumps(dict(doc), separators=(",", ":"), allow_nan=True).encode() + b"\n"
+
+
+def ok_response(req_id: "str | int | None", result: Mapping[str, Any], *,
+                status: int = 200) -> dict[str, Any]:
+    """A success response document."""
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "status": status,
+            "result": dict(result)}
+
+
+def error_response(req_id: "str | int | None", *, status: int, code: str,
+                   message: str, **extra: Any) -> dict[str, Any]:
+    """A failure response document (HTTP-style status + machine code)."""
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": False, "status": status,
+            "error": {"code": code, "message": message, **extra}}
+
+
+def parse_response(line: "str | bytes") -> dict[str, Any]:
+    """Decode a response line (client side); raises ``ValueError`` if torn."""
+    doc = json.loads(line)
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ValueError(f"malformed response frame: {line!r}")
+    return doc

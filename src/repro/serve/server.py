@@ -1,0 +1,539 @@
+"""The asyncio analysis server: connections, workers, drain, telemetry.
+
+Architecture (stdlib only)::
+
+    TCP clients --(NDJSON)--> asyncio event loop
+        -> strict protocol validation          (repro.serve.protocol)
+        -> admission control                   (repro.serve.admission)
+        -> content-addressed cache lookup      (repro.sweep.cache)
+        -> coalescing window                   (repro.serve.batching)
+        -> ProcessPoolExecutor                 (repro.sweep.runner.evaluate_point)
+
+    CPU-bound NC math and DES runs execute on worker *processes*, so
+    the event loop only ever parses lines, checks tokens, and reads
+    small cache files — it never blocks on a curve convolution.
+
+Lifecycle: ``start()`` spins up the pool, runs a calibration pass
+(which both pre-imports NumPy in the workers and primes the NC
+self-model with measured service times), derives the admission envelope
+when asked, and begins accepting.  SIGTERM/SIGINT request a graceful
+drain: the listener closes, forming batches flush, in-flight requests
+complete and are answered, idle connections close, the pool shuts down
+— no admitted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from .. import __version__
+from ..telemetry.metrics import MetricsRegistry
+from ..sweep.cache import ResultCache, point_key
+from ..sweep.runner import point_seed
+from .admission import AdmissionController, SelfModel, TokenBucket
+from .batching import Coalescer, evaluate_batch
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["ServeConfig", "AnalysisServer", "run", "ServerThread"]
+
+
+def _default_workers() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass
+class ServeConfig:
+    """Everything the operator can turn — all times in seconds."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the actual port is printed/returned
+    workers: "int | None" = None
+    slo_s: "float | None" = None  # delay SLO for admitted requests
+    rate: "float | None" = None  # admission: sustained requests/s (alpha rate R)
+    burst: "float | None" = None  # admission: bucket capacity (alpha burst b)
+    batch_window_s: float = 0.0  # 0 = coalescing off
+    max_batch: int = 16
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    cache_dir: "str | None" = None
+    calibrate: int = 6  # calibration evaluations at startup (0 = skip)
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers is not None else _default_workers()
+
+
+def _calibration_model() -> dict[str, Any]:
+    """The reference request used to measure per-request service time.
+
+    The BLAST case study's analyze is the canonical serving workload;
+    its cost is representative of any measured pipeline of similar
+    depth.
+    """
+    from ..apps.blast import blast_pipeline
+    from ..streaming import pipeline_to_dict
+
+    return pipeline_to_dict(blast_pipeline())
+
+
+class AnalysisServer:
+    """One serving process: listener, admission, coalescer, worker pool."""
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self.model = SelfModel(self.config.resolved_workers())
+        self.admission: "AdmissionController | None" = None
+        self.coalescer = Coalescer(
+            self._pool_dispatch,
+            window_s=self.config.batch_window_s,
+            max_batch=self.config.max_batch,
+        )
+        self.executor: "ProcessPoolExecutor | None" = None
+        self.host = self.config.host
+        self.port: "int | None" = None
+        self._server: "asyncio.base_events.Server | None" = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._dropped = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._shutdown_requested = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> tuple[str, int]:
+        """Create the pool, calibrate, build admission, begin accepting."""
+        cfg = self.config
+        self.executor = ProcessPoolExecutor(max_workers=cfg.resolved_workers())
+        if cfg.calibrate > 0:
+            await self._calibrate(cfg.calibrate)
+        self._build_admission()
+        self._server = await asyncio.start_server(
+            self._on_connection, cfg.host, cfg.port, limit=MAX_LINE_BYTES
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def _calibrate(self, n: int) -> None:
+        """Prime worker imports and the NC self-model with measured times.
+
+        First a parallel warm-up (one task per worker, so every process
+        pays its NumPy import before traffic arrives), then ``n``
+        sequential timed evaluations: in-worker compute time feeds the
+        service-curve rate, and the best-case (submit - compute) gap
+        estimates the dispatch latency ``T``.
+        """
+        model = _calibration_model()
+        options = {"simulate": False, "packetized": False, "workload": None, "base_seed": 42}
+        loop = asyncio.get_running_loop()
+        warmups = [
+            loop.run_in_executor(self.executor, evaluate_batch, model, [{}], options, [i])
+            for i in range(self.model.workers)
+        ]
+        await asyncio.gather(*warmups)
+        dispatch_gaps = []
+        for i in range(n):
+            t0 = time.perf_counter()
+            out = await loop.run_in_executor(
+                self.executor, evaluate_batch, model, [{}], options, [i]
+            )
+            wall = time.perf_counter() - t0
+            compute = float(out[0].get("elapsed", 0.0))
+            self.model.observe(compute)
+            dispatch_gaps.append(max(0.0, wall - compute))
+        # the smallest observed gap is the irreducible hand-off cost;
+        # the coalescing window is part of dispatch by construction
+        self.model.dispatch_latency = min(dispatch_gaps) + self.config.batch_window_s
+
+    def _build_admission(self) -> None:
+        cfg = self.config
+        if cfg.rate is not None:
+            bucket = TokenBucket(cfg.rate, cfg.burst if cfg.burst is not None else max(1.0, cfg.rate))
+            self.admission = AdmissionController(bucket, self.model, slo_s=cfg.slo_s)
+        elif cfg.slo_s is not None:
+            if not self.model.calibrated:
+                raise ValueError(
+                    "--slo without --rate needs calibration (calibrate > 0) to "
+                    "derive the admission envelope from the measured service curve"
+                )
+            self.admission = AdmissionController.for_slo(self.model, cfg.slo_s)
+        else:
+            self.admission = None  # open door: no envelope configured
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: ask the serve loop to drain and exit."""
+        self._shutdown_requested.set()
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown_requested.wait()
+
+    async def drain(self) -> dict[str, Any]:
+        """Stop accepting, finish in-flight work, release resources.
+
+        Returns the drain summary; ``dropped`` is the number of
+        admitted requests that could not be answered (0 on a clean
+        drain — the SIGTERM contract).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.coalescer.flush()
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_s)
+        except asyncio.TimeoutError:
+            self._dropped += self._inflight
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+        served = int(self.metrics.counter("serve.responses").value)
+        return {
+            "served": served,
+            "rejected": int(self.metrics.counter("serve.rejected").value),
+            "dropped": self._dropped,
+            "clean": self._dropped == 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _pool_dispatch(
+        self,
+        model: Mapping[str, Any],
+        params_list: Sequence[Mapping[str, Any]],
+        options: Mapping[str, Any],
+        seeds: Sequence[int],
+    ) -> Sequence[dict[str, Any]]:
+        """Ship one (possibly coalesced) batch to a worker process."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.executor,
+            evaluate_batch,
+            dict(model),
+            [dict(p) for p in params_list],
+            dict(options),
+            list(seeds),
+        )
+
+    def _begin(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _end(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            with contextlib.suppress(OSError):
+                # responses are single small frames; disable Nagle so
+                # they leave immediately instead of waiting out an ACK
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        self._writers.add(writer)
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode(
+                            error_response(
+                                None,
+                                status=413,
+                                code="too_large",
+                                message=f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                self._begin()
+                try:
+                    response = await self._serve_line(line)
+                    writer.write(encode(response))
+                    await writer.drain()
+                finally:
+                    self._end()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-exchange; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes) -> dict[str, Any]:
+        self.metrics.counter("serve.requests").inc()
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.counter("serve.errors").inc()
+            return error_response(None, status=exc.status, code=exc.code, message=str(exc))
+        try:
+            response = await self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
+            self.metrics.counter("serve.errors").inc()
+            response = error_response(
+                request.id, status=500, code="internal",
+                message=f"{type(exc).__name__}: {exc}",
+            )
+        if response.get("ok"):
+            self.metrics.counter("serve.responses").inc()
+        else:
+            self.metrics.counter("serve.errors").inc()
+        return response
+
+    async def _dispatch(self, req: Request) -> dict[str, Any]:
+        if req.op == "ping":
+            return ok_response(
+                req.id,
+                {"pong": True, "version": __version__, "protocol": PROTOCOL_VERSION},
+            )
+        if req.op == "capacity":
+            return ok_response(req.id, self.capacity())
+        if req.op == "stats":
+            return ok_response(req.id, self.stats())
+        if req.op == "shutdown":
+            self.request_shutdown()
+            return ok_response(req.id, {"draining": True})
+        return await self._evaluate(req)
+
+    async def _evaluate(self, req: Request) -> dict[str, Any]:
+        if self._draining:
+            return error_response(
+                req.id, status=503, code="draining", message="server is draining"
+            )
+        if self.admission is not None:
+            admitted, code, retry_after = self.admission.admit()
+            if not admitted:
+                self.metrics.counter("serve.rejected").inc()
+                return error_response(
+                    req.id,
+                    status=429,
+                    code=code or "rejected",
+                    message="admission control rejected the request "
+                    "(offered load exceeds the alpha envelope or the SLO)",
+                    retry_after_s=retry_after,
+                )
+        t0 = time.perf_counter()
+        key = point_key(req.model or {}, req.params, req.options)
+        out: "dict[str, Any] | None" = None
+        cached = False
+        if self.cache is not None:
+            out = self.cache.get(key)
+            cached = out is not None
+            self.metrics.counter(
+                "serve.cache.hits" if cached else "serve.cache.misses"
+            ).inc()
+        if out is None:
+            # same derivation as the sweep runner, so one cache key maps
+            # to one result no matter which subsystem computed it first
+            seed = point_seed(int(req.options.get("base_seed", 42)), req.params)
+            try:
+                out = await asyncio.wait_for(
+                    self.coalescer.submit(req.model or {}, req.params, req.options, seed),
+                    self.config.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                return error_response(
+                    req.id,
+                    status=408,
+                    code="timeout",
+                    message=f"evaluation exceeded {self.config.request_timeout_s} s "
+                    "(the worker task keeps running; retry may hit the cache)",
+                )
+            if "error" not in out and self.cache is not None:
+                self.cache.put(key, out)
+        if "error" in out:
+            return error_response(
+                req.id, status=422, code="evaluation_error", message=str(out["error"])
+            )
+        if not cached:
+            self.model.observe(float(out.get("elapsed", 0.0)))
+            self.metrics.histogram("serve.service_s").observe(
+                float(out.get("elapsed", 0.0))
+            )
+        self.metrics.histogram("serve.latency_s").observe(time.perf_counter() - t0)
+        return ok_response(req.id, {"key": key, "cached": cached, **out})
+
+    # ------------------------------------------------------------------ #
+    # introspection ops
+    # ------------------------------------------------------------------ #
+
+    def capacity(self) -> dict[str, Any]:
+        """The server's NC self-model (the ``/capacity`` response body)."""
+        if self.admission is not None:
+            report = self.admission.capacity_report()
+        else:
+            report = {
+                "arrival_curve": None,  # no envelope configured: open admission
+                "service_curve": {"kind": "rate_latency", **self.model.to_dict()},
+                "delay_bound_s": None,
+                "slo_s": None,
+                "slo_ok": True,
+                "admitted": None,
+                "rejected_rate": 0,
+                "rejected_slo": 0,
+            }
+        report["inflight"] = self._inflight
+        report["batch_window_s"] = self.config.batch_window_s
+        report["draining"] = self._draining
+        return report
+
+    def stats(self) -> dict[str, Any]:
+        """Counters, latency histograms, cache and batching effectiveness."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "batching": self.coalescer.stats(),
+            "inflight": self._inflight,
+        }
+
+
+async def _amain(config: ServeConfig, *, install_signals: bool = True,
+                 ready: "threading.Event | None" = None,
+                 handle: "ServerThread | None" = None) -> dict[str, Any]:
+    server = AnalysisServer(config)
+    host, port = await server.start()
+    if install_signals:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(sig, server.request_shutdown)
+    if handle is not None:
+        handle._attach(server, asyncio.get_running_loop())
+    print(
+        f"repro-serve listening on {host}:{port} "
+        f"(pid {os.getpid()}, workers {server.model.workers}, "
+        f"protocol v{PROTOCOL_VERSION})",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    await server.wait_shutdown()
+    summary = await server.drain()
+    verdict = "clean" if summary["clean"] else f"DROPPED {summary['dropped']}"
+    print(
+        f"repro-serve drained ({verdict}): {summary['served']} served, "
+        f"{summary['rejected']} rejected, {summary['dropped']} dropped",
+        flush=True,
+    )
+    return summary
+
+
+def run(config: "ServeConfig | None" = None) -> int:
+    """Blocking entry point (the ``repro serve`` command body).
+
+    Returns 0 on a clean drain, 1 if any in-flight request was dropped.
+    """
+    summary = asyncio.run(_amain(config if config is not None else ServeConfig()))
+    return 0 if summary["clean"] else 1
+
+
+class ServerThread:
+    """A server hosted on a background thread — the test/benchmark harness.
+
+    Runs the full production path (real sockets, real worker pool,
+    real drain) without a subprocess::
+
+        with ServerThread(ServeConfig(port=0)) as srv:
+            client = ServeClient(srv.host, srv.port)
+            ...
+
+    ``stop()`` performs the same graceful drain as SIGTERM and returns
+    the drain summary.
+    """
+
+    def __init__(self, config: "ServeConfig | None" = None, *, start_timeout: float = 60.0) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.summary: "dict[str, Any] | None" = None
+        self.error: "BaseException | None" = None
+        self._server: "AnalysisServer | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(start_timeout):
+            raise TimeoutError("server thread failed to start in time")
+        if self.error is not None:
+            raise RuntimeError(f"server thread failed: {self.error}") from self.error
+
+    def _attach(self, server: AnalysisServer, loop: asyncio.AbstractEventLoop) -> None:
+        self._server = server
+        self._loop = loop
+
+    def _run(self) -> None:
+        try:
+            self.summary = asyncio.run(
+                _amain(self.config, install_signals=False, ready=self._ready, handle=self)
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the creating thread
+            self.error = exc
+            self._ready.set()
+
+    @property
+    def host(self) -> str:
+        assert self._server is not None
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.port is not None
+        return self._server.port
+
+    def stop(self, timeout: float = 60.0) -> dict[str, Any]:
+        """Graceful drain (same path as SIGTERM); returns the summary."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server thread did not drain in time")
+        if self.error is not None:
+            raise RuntimeError(f"server thread failed: {self.error}") from self.error
+        assert self.summary is not None
+        return self.summary
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._thread.is_alive():
+            self.stop()

@@ -135,10 +135,14 @@ def pipeline_from_dict(data: dict[str, Any]) -> Pipeline:
 
 
 def save_pipeline(pipeline: Pipeline, path: "str | Path") -> Path:
-    """Write the pipeline model to ``path`` as pretty-printed JSON."""
-    p = Path(path)
-    p.write_text(json.dumps(pipeline_to_dict(pipeline), indent=2) + "\n")
-    return p
+    """Write the pipeline model to ``path`` as pretty-printed JSON.
+
+    The write is atomic (temp file + rename), so a model file is never
+    observed half-written by a concurrent reader.
+    """
+    from .._fsutil import atomic_write_text
+
+    return atomic_write_text(path, json.dumps(pipeline_to_dict(pipeline), indent=2) + "\n")
 
 
 def load_pipeline(path: "str | Path") -> Pipeline:

@@ -9,19 +9,29 @@ underlying numerics change, and stale entries simply stop matching.
 
 Entries are one JSON file each under ``<dir>/<key[:2]>/<key>.json``
 (two-level fan-out keeps directories small).  Reads tolerate missing or
-corrupt files (treated as a miss); writes are atomic (temp file +
-rename) so a crashed or parallel run never leaves a truncated entry.
+corrupt files (treated as a miss); writes go through
+:func:`repro._fsutil.atomic_write_text` — a uniquely-named temp file in
+the entry's own directory followed by ``os.replace`` — so concurrent
+writers (parallel sweep workers, server threads, overlapping CI jobs)
+can never collide on an intermediate name or leave a truncated entry.
+
+The cache is shared infrastructure: :mod:`repro.sweep` populates it
+from grid runs and :mod:`repro.serve` from network requests, with
+identical keys — so an analysis computed either way is a hit for both.
+:meth:`ResultCache.stats` and :meth:`ResultCache.prune` back the
+``repro cache`` CLI verb.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
+import time
 from pathlib import Path
 from typing import Any, Mapping
 
 from .. import __version__
+from .._fsutil import atomic_write_text
 
 __all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "point_key", "ResultCache"]
 
@@ -83,12 +93,80 @@ class ResultCache:
 
     def put(self, key: str, result: Mapping[str, Any]) -> Path:
         """Store ``result`` under ``key`` atomically; returns the path."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(dict(result), indent=1) + "\n")
-        os.replace(tmp, path)
-        return path
+        return atomic_write_text(
+            self._path(key), json.dumps(dict(result), indent=1) + "\n"
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def _entries(self) -> "list[Path]":
+        return sorted(self.directory.glob("*/*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        """Size and age accounting for the on-disk store.
+
+        Ages are measured from entry mtimes; session hit/miss counters
+        ride along (zeros for a cache object that has not served this
+        process yet).
+        """
+        now = time.time()
+        entries = 0
+        total_bytes = 0
+        oldest: "float | None" = None
+        newest: "float | None" = None
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # pruned/replaced concurrently
+            entries += 1
+            total_bytes += st.st_size
+            age = max(0.0, now - st.st_mtime)
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_age_s": oldest,
+            "newest_age_s": newest,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def prune(self, *, max_age_s: "float | None" = None) -> int:
+        """Remove entries older than ``max_age_s`` (all when ``None``).
+
+        Also sweeps any orphaned ``*.tmp`` files left by crashed
+        writers, and drops fan-out directories that become empty.
+        Returns the number of cache entries removed.
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        now = time.time()
+        removed = 0
+        for path in self._entries():
+            try:
+                if max_age_s is not None and now - path.stat().st_mtime <= max_age_s:
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue  # raced with another pruner/writer: already gone
+        for orphan in self.directory.glob("*/.*.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:
+                continue
+        for sub in self.directory.iterdir():
+            if sub.is_dir():
+                try:
+                    sub.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the count removed."""
+        return self.prune(max_age_s=None)

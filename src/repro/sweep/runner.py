@@ -14,9 +14,14 @@ parameters via SHA-256, so they are stable across runs, processes, and
 grid reorderings — adding an axis does not reshuffle existing points'
 draws.
 
-Worker-pool failures degrade gracefully: if the pool cannot be created
-or dies mid-sweep, the remaining points run serially in-process and the
-manifest records the degradation instead of the run failing.
+Worker-pool failures degrade gracefully: if the pool cannot be created,
+the whole sweep runs serially; if a worker *dies mid-point* (OOM kill,
+segfault — surfacing as ``BrokenProcessPool``), the first casualty
+point is marked failed in the results/manifest and every remaining
+point is evaluated serially in-process.  The casualty is deliberately
+*not* retried in-process: a point that killed a worker could kill the
+sweep.  Either way the run completes and the manifest records mode
+``parallel-degraded``.
 """
 
 from __future__ import annotations
@@ -193,6 +198,72 @@ def _evaluate_payload(payload: tuple[Mapping[str, Any], Mapping[str, Any], Mappi
     return evaluate_point(model, params, options, seed)
 
 
+def _run_parallel(
+    raw: dict[int, dict[str, Any]],
+    pending: Sequence[int],
+    points: Sequence[SweepPoint],
+    model: Mapping[str, Any],
+    options: Mapping[str, Any],
+    seeds: Sequence[int],
+    jobs: int,
+) -> str:
+    """Evaluate ``pending`` points on a process pool, filling ``raw``.
+
+    Returns the resulting mode string.  Three failure tiers:
+
+    * pool cannot be created — evaluate nothing here; the caller's
+      serial fill-in handles every pending point (``parallel-degraded``);
+    * a worker dies mid-point (``BrokenProcessPool``: OOM killer,
+      segfault, ``os._exit``) — the first broken point in submission
+      order is recorded as failed (its siblings, broken only by
+      association, are left for the serial fill-in) and NOT retried
+      in-process, since re-running a worker-killing point serially
+      could take the whole sweep down with it;
+    * any other per-future failure (e.g. result transport) — the point
+      is left for the serial fill-in.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    except Exception:  # pool creation failure (e.g. no sem support)
+        return "parallel-degraded"
+    mode = "parallel"
+    try:
+        try:
+            futures = {
+                i: executor.submit(
+                    _evaluate_payload, (model, points[i].params, options, seeds[i])
+                )
+                for i in pending
+            }
+        except Exception:  # submission failure: nothing parallel ran
+            return "parallel-degraded"
+        worker_died = False
+        for i in pending:
+            try:
+                raw[i] = futures[i].result()
+            except BrokenProcessPool as exc:
+                mode = "parallel-degraded"
+                if not worker_died:
+                    worker_died = True
+                    detail = f": {exc}" if str(exc) else ""
+                    raw[i] = {
+                        "error": (
+                            "BrokenProcessPool: worker died evaluating this "
+                            f"point (killed? out of memory?){detail}"
+                        ),
+                        "elapsed": 0.0,
+                    }
+                # siblings fall through to the caller's serial fill-in
+            except Exception:
+                mode = "parallel-degraded"
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return mode
+
+
 @dataclass(frozen=True)
 class PointResult:
     """Outcome of one grid point."""
@@ -338,21 +409,9 @@ def run_sweep(
 
     mode = "serial"
     if pending and jobs > 1:
-        mode = "parallel"
-        payloads = [(model, points[i].params, options, seeds[i]) for i in pending]
-        try:
-            import multiprocessing as mp
-
-            with mp.Pool(processes=min(jobs, len(pending))) as pool:
-                for i, out in zip(pending, pool.map(_evaluate_payload, payloads)):
-                    raw[i] = out
-        except Exception:  # pool creation or transport failure
-            mode = "parallel-degraded"
-            for i in pending:
-                if i not in raw:
-                    raw[i] = evaluate_point(model, points[i].params, options, seeds[i])
-    else:
-        for i in pending:
+        mode = _run_parallel(raw, pending, points, model, options, seeds, jobs)
+    for i in pending:
+        if i not in raw:
             raw[i] = evaluate_point(model, points[i].params, options, seeds[i])
 
     results: list[PointResult] = []

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any
 
 from .. import __version__
+from .._fsutil import atomic_write_text
 from ..viz.csvout import write_rows_csv
 from .runner import SweepResult
 from .spec import SweepSpec
@@ -66,9 +67,9 @@ def write_artifacts(
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
-    results_json = out / "results.json"
-    results_json.write_text(
-        json.dumps([r.to_dict() for r in result.results], indent=1) + "\n"
+    results_json = atomic_write_text(
+        out / "results.json",
+        json.dumps([r.to_dict() for r in result.results], indent=1) + "\n",
     )
 
     results_csv = write_rows_csv(result_rows(result), out / "results.csv")
@@ -99,8 +100,9 @@ def write_artifacts(
             for r in result.results
         ],
     }
-    manifest_json = out / "manifest.json"
-    manifest_json.write_text(json.dumps(manifest, indent=1) + "\n")
+    manifest_json = atomic_write_text(
+        out / "manifest.json", json.dumps(manifest, indent=1) + "\n"
+    )
 
     return {
         "results.json": results_json,

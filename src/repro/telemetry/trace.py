@@ -227,13 +227,14 @@ class Tracer(SimProbe):
         }
 
     def write(self, path: "str | Path") -> Path:
-        """Serialise to ``path`` deterministically; returns the path."""
-        out = Path(path)
-        out.write_text(
+        """Serialise to ``path`` deterministically (and atomically)."""
+        from .._fsutil import atomic_write_text
+
+        return atomic_write_text(
+            path,
             json.dumps(self.to_chrome(), sort_keys=True, separators=(",", ":"))
-            + "\n"
+            + "\n",
         )
-        return out
 
 
 def _thread_name(tid: int, name: str) -> dict[str, Any]:

@@ -9,6 +9,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .._fsutil import atomic_write_text
+
 __all__ = ["series_to_csv", "write_series_csv", "rows_to_csv", "write_rows_csv"]
 
 
@@ -37,10 +39,8 @@ def write_series_csv(
     series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
     path: "str | Path",
 ) -> Path:
-    """Write :func:`series_to_csv` output to ``path``; returns the path."""
-    p = Path(path)
-    p.write_text(series_to_csv(series))
-    return p
+    """Write :func:`series_to_csv` output to ``path`` atomically."""
+    return atomic_write_text(path, series_to_csv(series))
 
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
@@ -65,7 +65,5 @@ def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
 
 
 def write_rows_csv(rows: Sequence[Mapping[str, object]], path: "str | Path") -> Path:
-    """Write :func:`rows_to_csv` output to ``path``; returns the path."""
-    p = Path(path)
-    p.write_text(rows_to_csv(rows))
-    return p
+    """Write :func:`rows_to_csv` output to ``path`` atomically."""
+    return atomic_write_text(path, rows_to_csv(rows))

@@ -1,0 +1,115 @@
+"""Edge cases for the full pseudo-inverse functions (curve -> curve).
+
+``pseudo_inverse`` (point-wise) is covered in test_bounds; this module
+exercises :func:`lower_pseudo_inverse` / :func:`upper_pseudo_inverse` —
+in particular the degenerate inputs a served what-if can feed them:
+zero-rate (saturating) curves, pure-jump bursts, flat latency regions.
+"""
+
+import math
+
+import pytest
+
+from repro.nc import (
+    Curve,
+    UnboundedCurveError,
+    constant_rate,
+    leaky_bucket,
+    rate_latency,
+    staircase,
+)
+from repro.nc.pseudoinverse import lower_pseudo_inverse, upper_pseudo_inverse
+
+
+def _brute_lower(f, y, t_max=50.0, n=100_001):
+    """inf { t : f(t) >= y } by grid scan — the definition, slowly."""
+    for i in range(n):
+        t = t_max * i / (n - 1)
+        if f(t) >= y - 1e-9:
+            return t
+    return math.inf
+
+
+class TestDegenerateCurves:
+    def test_zero_rate_leaky_bucket_raises(self):
+        # alpha(t) = 0*t + b saturates at b: the inverse is +inf above
+        with pytest.raises(UnboundedCurveError):
+            lower_pseudo_inverse(leaky_bucket(0.0, 5.0))
+        with pytest.raises(UnboundedCurveError):
+            upper_pseudo_inverse(leaky_bucket(0.0, 5.0))
+
+    def test_saturating_piecewise_curve_raises(self):
+        # rises to 3 then flat forever
+        f = Curve([0.0, 3.0], [0.0, 3.0], [0.0, 3.0], [1.0, 0.0])
+        assert f.final_slope == 0.0
+        with pytest.raises(UnboundedCurveError):
+            lower_pseudo_inverse(f)
+
+    def test_non_monotone_curve_raises_value_error(self):
+        f = Curve([0.0, 1.0], [0.0, 5.0], [5.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="nondecreasing"):
+            lower_pseudo_inverse(f)
+        with pytest.raises(ValueError, match="nondecreasing"):
+            upper_pseudo_inverse(f)
+
+
+class TestAffineInverses:
+    def test_constant_rate_inverse_is_reciprocal_rate(self):
+        inv = lower_pseudo_inverse(constant_rate(4.0))
+        assert inv(8.0) == pytest.approx(2.0)
+        assert inv(0.0) == 0.0
+        # strictly increasing curve: both inverses agree
+        upper = upper_pseudo_inverse(constant_rate(4.0))
+        for y in (0.5, 1.0, 7.25):
+            assert inv(y) == pytest.approx(upper(y))
+
+    def test_leaky_bucket_jump_becomes_flat(self):
+        # the burst jump at t=0 maps to a flat run over (0, b]
+        inv = lower_pseudo_inverse(leaky_bucket(10.0, 4.0))
+        assert inv(2.0) == 0.0
+        assert inv(4.0) == 0.0
+        assert inv(14.0) == pytest.approx(1.0)
+
+    def test_rate_latency_flat_start(self):
+        # beta is flat at 0 until T: lower inverse of level 0 is 0,
+        # upper inverse is T (left vs right end of the flat — the duality)
+        T, R = 1.0, 2.0
+        lower = lower_pseudo_inverse(rate_latency(R, T))
+        upper = upper_pseudo_inverse(rate_latency(R, T))
+        assert lower(0.0) == 0.0
+        assert upper(0.0) == pytest.approx(T)
+        # above the flat they coincide: T + y/R
+        for y in (0.5, 1.0, 3.0):
+            assert lower(y) == pytest.approx(T + y / R)
+            assert upper(y) == pytest.approx(T + y / R)
+
+    def test_inverse_is_involutive_on_affine(self):
+        f = constant_rate(3.0)
+        back = lower_pseudo_inverse(lower_pseudo_inverse(f))
+        for t in (0.0, 0.5, 1.0, 4.0):
+            assert back(t) == pytest.approx(f(t))
+
+
+class TestStaircase:
+    def test_staircase_jumps_become_flats(self):
+        f = staircase(2.0, 1.0, n_steps=8)
+        inv = lower_pseudo_inverse(f)
+        # level 2 (first step) available right after t=0; level 4 needs
+        # the second step at t=1
+        assert inv(2.0) == 0.0
+        assert inv(3.0) == pytest.approx(1.0)
+        assert inv(4.0) == pytest.approx(1.0)
+        assert inv(5.0) == pytest.approx(2.0)
+
+    def test_matches_brute_force_definition(self):
+        f = staircase(2.0, 1.0, n_steps=8)
+        inv = lower_pseudo_inverse(f)
+        for y in (0.5, 2.0, 2.5, 4.0, 7.0, 11.0):
+            assert inv(y) == pytest.approx(_brute_lower(f, y), abs=1e-3)
+
+    def test_lower_below_upper_everywhere(self):
+        f = staircase(1.0, 0.5, n_steps=8)
+        lower = lower_pseudo_inverse(f)
+        upper = upper_pseudo_inverse(f)
+        for y in (0.0, 0.5, 1.0, 1.5, 3.0, 6.0):
+            assert lower(y) <= upper(y) + 1e-12

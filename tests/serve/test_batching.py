@@ -1,0 +1,165 @@
+"""Request coalescing: windows, compatibility classes, failure fan-out."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batching import (
+    Coalescer,
+    batch_key,
+    evaluate_batch,
+    recommended_window,
+)
+from repro.streaming.jobratio import aggregation_latency
+
+MODEL = {"name": "m"}
+OPTIONS = {"simulate": False}
+
+
+class Recorder:
+    """Dispatch stub that records batch shapes and echoes params."""
+
+    def __init__(self, delay=0.0, fail=False):
+        self.calls = []
+        self.delay = delay
+        self.fail = fail
+
+    async def __call__(self, model, params_list, options, seeds):
+        self.calls.append(list(params_list))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError("pool exploded")
+        return [{"params": dict(p), "seed": s} for p, s in zip(params_list, seeds)]
+
+
+class TestPassThrough:
+    def test_zero_window_dispatches_immediately(self):
+        rec = Recorder()
+        co = Coalescer(rec, window_s=0.0)
+
+        async def go():
+            return await co.submit(MODEL, {"x": 1.0}, OPTIONS, 7)
+
+        out = asyncio.run(go())
+        assert out == {"params": {"x": 1.0}, "seed": 7}
+        assert rec.calls == [[{"x": 1.0}]]
+        assert co.stats()["batches"] == 1
+        assert co.stats()["coalesced_requests"] == 0
+
+
+class TestCoalescing:
+    def test_compatible_requests_share_one_batch(self):
+        rec = Recorder()
+        co = Coalescer(rec, window_s=0.02, max_batch=16)
+
+        async def go():
+            return await asyncio.gather(
+                *[co.submit(MODEL, {"x": float(i)}, OPTIONS, i) for i in range(4)]
+            )
+
+        outs = asyncio.run(go())
+        # one pool round trip for all four, results in submit order
+        assert len(rec.calls) == 1
+        assert [o["params"]["x"] for o in outs] == [0.0, 1.0, 2.0, 3.0]
+        assert [o["seed"] for o in outs] == [0, 1, 2, 3]
+        stats = co.stats()
+        assert stats["batches"] == 1
+        assert stats["coalesced_requests"] == 4
+        assert stats["max_batch_seen"] == 4
+        assert stats["mean_batch_size"] == pytest.approx(4.0)
+
+    def test_incompatible_options_split_batches(self):
+        rec = Recorder()
+        co = Coalescer(rec, window_s=0.02)
+
+        async def go():
+            return await asyncio.gather(
+                co.submit(MODEL, {"x": 1.0}, {"simulate": False}, 0),
+                co.submit(MODEL, {"x": 2.0}, {"simulate": True}, 1),
+            )
+
+        asyncio.run(go())
+        assert len(rec.calls) == 2
+
+    def test_max_batch_forces_early_dispatch(self):
+        rec = Recorder()
+        co = Coalescer(rec, window_s=10.0, max_batch=2)  # window would stall
+
+        async def go():
+            return await asyncio.gather(
+                co.submit(MODEL, {"x": 1.0}, OPTIONS, 0),
+                co.submit(MODEL, {"x": 2.0}, OPTIONS, 1),
+            )
+
+        outs = asyncio.run(go())
+        assert len(outs) == 2
+        assert len(rec.calls) == 1
+        assert len(rec.calls[0]) == 2
+
+    def test_dispatch_failure_fans_out_to_all_waiters(self):
+        rec = Recorder(fail=True)
+        co = Coalescer(rec, window_s=0.01)
+
+        async def go():
+            return await asyncio.gather(
+                co.submit(MODEL, {"x": 1.0}, OPTIONS, 0),
+                co.submit(MODEL, {"x": 2.0}, OPTIONS, 1),
+                return_exceptions=True,
+            )
+
+        outs = asyncio.run(go())
+        assert all(isinstance(o, RuntimeError) for o in outs)
+
+    def test_flush_drains_forming_batch(self):
+        rec = Recorder()
+        co = Coalescer(rec, window_s=60.0)  # would otherwise wait a minute
+
+        async def go():
+            task = asyncio.ensure_future(co.submit(MODEL, {"x": 1.0}, OPTIONS, 0))
+            await asyncio.sleep(0)  # let submit park on the forming batch
+            await co.flush()
+            return await task
+
+        out = asyncio.run(go())
+        assert out["params"] == {"x": 1.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Coalescer(Recorder(), window_s=-1.0)
+        with pytest.raises(ValueError):
+            Coalescer(Recorder(), max_batch=0)
+
+
+class TestBatchKey:
+    def test_same_class_same_key(self):
+        assert batch_key(MODEL, OPTIONS) == batch_key(dict(MODEL), dict(OPTIONS))
+
+    def test_model_or_options_change_key(self):
+        assert batch_key(MODEL, OPTIONS) != batch_key({"name": "n"}, OPTIONS)
+        assert batch_key(MODEL, OPTIONS) != batch_key(MODEL, {"simulate": True})
+
+
+class TestRecommendedWindow:
+    def test_is_the_paper_collection_time(self):
+        # b_n / R_alpha — the same formula jobratio applies to stages
+        assert recommended_window(16, 200.0) == aggregation_latency(16, 200.0)
+        assert recommended_window(16, 200.0) == pytest.approx(0.08)
+
+
+class TestEvaluateBatch:
+    def test_per_point_errors_stay_per_point(self):
+        from repro.apps.blast import blast_pipeline
+        from repro.streaming import pipeline_to_dict
+
+        model = pipeline_to_dict(blast_pipeline())
+        options = {"simulate": False, "packetized": False, "workload": None,
+                   "base_seed": 42}
+        out = evaluate_batch(
+            model,
+            [{"scale:network": 2.0}, {"scale:no_such_stage": 2.0}],
+            options,
+            [1, 2],
+        )
+        assert "nc" in out[0] and "error" not in out[0]
+        assert "error" in out[1]

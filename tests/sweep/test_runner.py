@@ -28,6 +28,23 @@ def _spec(simulate=False, workload=None):
     )
 
 
+def _killer_payload(payload):
+    """Pool entry point that hard-kills the worker on one param combo.
+
+    Module level so it pickles; ``os._exit`` (not an exception) so the
+    worker process dies without cleanup, which is what the OOM killer
+    or a segfault looks like from the parent's side.
+    """
+    import os
+
+    model, params, options, seed = payload
+    if params.get("scale:network") == 0.5:
+        os._exit(1)
+    from repro.sweep.runner import evaluate_point
+
+    return evaluate_point(model, params, options, seed)
+
+
 class TestSeeds:
     def test_seed_depends_on_params_not_index(self):
         s1 = point_seed(42, {"scale:a": 1.0})
@@ -93,14 +110,40 @@ class TestRunSweep:
         def boom(*args, **kwargs):
             raise OSError("no pool for you")
 
-        import multiprocessing as mp
+        import concurrent.futures
 
-        monkeypatch.setattr(mp, "Pool", boom)
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
         result = run_sweep(spec, jobs=4)
         assert result.mode == "parallel-degraded"
         assert len(result.results) == 4
         assert not result.errors
         assert result.comparable() == run_sweep(spec, jobs=1).comparable()
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method(allow_none=True) not in (None, "fork"),
+        reason="worker-death injection relies on the fork start method",
+    )
+    def test_worker_death_marks_point_failed_and_continues(self):
+        spec = _spec()
+        import repro.sweep.runner as runner_mod
+
+        orig = runner_mod._evaluate_payload
+        try:
+            runner_mod._evaluate_payload = _killer_payload
+            result = runner_mod.run_sweep(spec, jobs=2)
+        finally:
+            runner_mod._evaluate_payload = orig
+        # pool mode collapsed, but the sweep itself survived
+        assert result.mode == "parallel-degraded"
+        assert len(result.results) == 4
+        # exactly one casualty: the point the worker died on
+        broken = [r for r in result.results if r.error and "BrokenProcessPool" in r.error]
+        assert len(broken) == 1
+        assert broken[0].params["scale:network"] == 0.5
+        # every sibling was re-evaluated serially with a real result
+        healthy = [r for r in result.results if r.error is None]
+        assert len(healthy) == 3
+        assert all(r.nc for r in healthy)
 
     def test_point_error_is_isolated(self, monkeypatch):
         spec = _spec()

@@ -417,3 +417,69 @@ class TestCliTelemetry:
         )
         assert main(["conformance", "blast"]) == 1
         assert "verdict: FAIL" in capsys.readouterr().out
+
+
+class TestCliCache:
+    def _fill(self, tmp_path):
+        from repro.sweep import ResultCache, point_key
+
+        cache = ResultCache(tmp_path)
+        model = {"name": "m", "source": {"rate": 1.0}, "stages": []}
+        opts = {"simulate": False, "packetized": False, "workload": None,
+                "base_seed": 42}
+        for i in range(3):
+            cache.put(point_key(model, {"x": float(i)}, opts), {"nc": {"i": i}})
+
+    def test_stats(self, capsys, tmp_path):
+        from repro.cli import main
+
+        self._fill(tmp_path)
+        assert main(["cache", str(tmp_path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries            3" in out
+        assert "oldest entry" in out
+
+    def test_clear(self, capsys, tmp_path):
+        from repro.cli import main
+
+        self._fill(tmp_path)
+        assert main(["cache", str(tmp_path), "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3 entries" in out
+        assert "entries            0" in out
+
+    def test_max_age_keeps_fresh_entries(self, capsys, tmp_path):
+        from repro.cli import main
+
+        self._fill(tmp_path)
+        assert main(["cache", str(tmp_path), "--max-age", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 entries" in out
+        assert "entries            3" in out
+
+    def test_clear_and_max_age_conflict(self, tmp_path):
+        from repro.cli import main
+
+        self._fill(tmp_path)
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["cache", str(tmp_path), "--clear", "--max-age", "1"])
+
+    def test_missing_directory_is_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="not a cache directory"):
+            main(["cache", str(tmp_path / "nope"), "--stats"])
+
+
+class TestCliRequest:
+    def test_unreachable_server_is_clean_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="cannot reach server"):
+            main(["request", "ping", "--port", "1", "--timeout", "1"])
+
+    def test_analyze_requires_model_source(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="needs --app or --file"):
+            main(["request", "analyze", "--port", "1"])
