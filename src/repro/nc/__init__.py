@@ -16,7 +16,17 @@ Quick start::
 """
 
 from .curve import Curve, UnboundedCurveError
+from .kernel import (
+    digest_of,
+    interned,
+    kernel_disabled,
+    kernel_enabled,
+    memo_stats,
+    reset_kernel,
+    set_kernel_enabled,
+)
 from .pieces import Point, Segment, envelope
+from .tolerance import EPS, EPS_STRICT, close
 from .builders import (
     affine,
     constant_rate,
@@ -76,6 +86,16 @@ __all__ = [
     "Point",
     "Segment",
     "envelope",
+    "EPS",
+    "EPS_STRICT",
+    "close",
+    "digest_of",
+    "interned",
+    "kernel_disabled",
+    "kernel_enabled",
+    "memo_stats",
+    "reset_kernel",
+    "set_kernel_enabled",
     "affine",
     "constant_rate",
     "leaky_bucket",

@@ -31,6 +31,7 @@ import math
 
 from .._validation import check_non_negative
 from .curve import Curve, UnboundedCurveError
+from .kernel import binary_op
 from .minplus import convolve, deconvolve
 
 __all__ = [
@@ -67,8 +68,18 @@ def pseudo_inverse(f: Curve, y: float) -> float:
 
 
 def vertical_deviation(f: Curve, g: Curve, t_max: float = math.inf) -> float:
-    """``sup_{0 <= t <= t_max} [f(t) - g(t)]`` — exact, possibly ``inf``."""
-    return (f - g).sup(t_max)
+    """``sup_{0 <= t <= t_max} [f(t) - g(t)]`` — exact, possibly ``inf``.
+
+    Kernel-dispatched: the leaky-bucket/rate-latency pair short-circuits
+    to the paper's ``b + R_alpha * T``, other shapes are memoized.
+    """
+    def generic(a: Curve, b: Curve) -> float:
+        return (a - b).sup(t_max)
+
+    if math.isinf(t_max):
+        return binary_op("vertical_deviation", f, g, generic)
+    # a finite horizon changes the result: separate op, no fast path
+    return binary_op("vertical_deviation_t", f, g, generic, key_extra=(t_max,))
 
 
 def horizontal_deviation(f: Curve, g: Curve) -> float:
@@ -77,8 +88,14 @@ def horizontal_deviation(f: Curve, g: Curve) -> float:
     Computed exactly in level space: ``h = sup_y [g^-1(y) - f^-1(y)]``
     over the finitely many levels at which either pseudo-inverse kinks.
     Returns ``math.inf`` when ``g`` can never catch up (e.g. the flow's
-    long-run rate exceeds the service rate).
+    long-run rate exceeds the service rate).  Kernel-dispatched: the
+    leaky-bucket/rate-latency pair short-circuits to the paper's
+    ``T + b / R_beta``, other shapes are memoized.
     """
+    return binary_op("horizontal_deviation", f, g, _hdev_generic)
+
+
+def _hdev_generic(f: Curve, g: Curve) -> float:
     if f.final_slope > g.final_slope:
         return math.inf
     if f.final_slope > 0 and g.final_slope == 0:

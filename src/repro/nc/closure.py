@@ -14,7 +14,9 @@ from __future__ import annotations
 import math
 
 from .curve import Curve
+from .kernel import unary_op
 from .minplus import convolve
+from .tolerance import EPS, rel_scale
 
 __all__ = ["subadditive_closure", "is_subadditive"]
 
@@ -33,7 +35,7 @@ def is_subadditive(f: Curve, samples: int = 64) -> bool:
     vals = f(ts)
     for i in range(samples):
         for j in range(samples - i):
-            if vals[i] + vals[j] < f(float(ts[i] + ts[j])) - 1e-9 * max(1.0, abs(vals[i])):
+            if vals[i] + vals[j] < f(float(ts[i] + ts[j])) - EPS * rel_scale(vals[i]):
                 return False
     return True
 
@@ -45,7 +47,19 @@ def subadditive_closure(f: Curve, max_iterations: int = 32) -> Curve:
     curves needing more than ``max_iterations`` doublings the loop raises
     ``RuntimeError`` — in practice network-calculus models use closures
     of concave or rate-latency-like curves, which converge immediately.
+    Kernel-dispatched: concave curves through the origin short-circuit
+    to themselves (they are already subadditive), and results are
+    memoized by content digest.
     """
+    return unary_op(
+        "subadditive_closure",
+        f,
+        lambda c: _closure_generic(c, max_iterations),
+        key_extra=(max_iterations,),
+    )
+
+
+def _closure_generic(f: Curve, max_iterations: int) -> Curve:
     if f(0.0) < 0:
         raise ValueError("closure requires f(0) >= 0")
     # force f(0) = 0 (delta_0 term of the closure)
@@ -65,7 +79,7 @@ def subadditive_closure(f: Curve, max_iterations: int = 32) -> Curve:
         return Curve.zero()
     for _ in range(max_iterations):
         nxt = convolve(current, current).minimum(current)
-        if nxt.almost_equal(current, tol=1e-9):
+        if nxt.almost_equal(current, tol=EPS):
             return current
         current = nxt
     raise RuntimeError(

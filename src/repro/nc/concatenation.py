@@ -23,6 +23,7 @@ from typing import Sequence
 import math
 
 from .curve import Curve
+from .kernel import interned
 from .minplus import convolve_many
 from .bounds import backlog_bound, delay_bound, output_arrival_curve
 
@@ -49,6 +50,18 @@ class Tandem:
     def __post_init__(self) -> None:
         if not self.nodes:
             raise ValueError("a tandem needs at least one node")
+        # intern every curve up front: tandem analysis re-derives the
+        # same sub-chain algebra repeatedly (arrival_at per node), and
+        # interned operands make each derivation a kernel memo hit
+        self.alpha = interned(self.alpha)
+        self.nodes = [
+            TandemNode(
+                interned(n.beta),
+                None if n.gamma is None else interned(n.gamma),
+                n.name,
+            )
+            for n in self.nodes
+        ]
 
     # ------------------------------------------------------------------ #
 

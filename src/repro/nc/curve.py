@@ -24,7 +24,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from .pieces import Point, Segment, envelope, _close
+from .pieces import Point, Segment, envelope
+from .tolerance import EPS, EPS_STRICT, close as _close, rel_scale
 
 __all__ = ["Curve", "UnboundedCurveError"]
 
@@ -48,7 +49,7 @@ class Curve:
     :mod:`repro.nc.builders` (leaky bucket, rate-latency, ...).
     """
 
-    __slots__ = ("bx", "by", "sy", "sl")
+    __slots__ = ("bx", "by", "sy", "sl", "_digest")
 
     def __init__(
         self,
@@ -80,6 +81,9 @@ class Curve:
         object.__setattr__(self, "by", by_a)
         object.__setattr__(self, "sy", sy_a)
         object.__setattr__(self, "sl", sl_a)
+        # canonical-form content digest, stamped lazily by the kernel's
+        # interning layer (repro.nc.kernel); None until then
+        object.__setattr__(self, "_digest", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Curve instances are immutable")
@@ -212,11 +216,11 @@ class Curve:
             return False
         for i in range(len(self.bx)):
             # point must not exceed the outgoing right-limit
-            if self.by[i] > self.sy[i] + 1e-12 * max(1.0, abs(self.sy[i])):
+            if self.by[i] > self.sy[i] + EPS_STRICT * rel_scale(self.sy[i]):
                 return False
             if i > 0:
                 left = self.sy[i - 1] + self.sl[i - 1] * (self.bx[i] - self.bx[i - 1])
-                if left > self.by[i] + 1e-12 * max(1.0, abs(self.by[i])):
+                if left > self.by[i] + EPS_STRICT * rel_scale(self.by[i]):
                     return False
         return True
 
@@ -231,13 +235,13 @@ class Curve:
                     return False
         return True
 
-    def is_concave(self, tol: float = 1e-9) -> bool:
+    def is_concave(self, tol: float = EPS) -> bool:
         """True for continuous curves with non-increasing slopes."""
         return self.is_continuous() and bool(
             np.all(np.diff(self.sl) <= tol * np.maximum(1.0, np.abs(self.sl[:-1])))
         )
 
-    def is_convex(self, tol: float = 1e-9) -> bool:
+    def is_convex(self, tol: float = EPS) -> bool:
         """True for continuous curves with non-decreasing slopes."""
         return self.is_continuous() and bool(
             np.all(np.diff(self.sl) >= -tol * np.maximum(1.0, np.abs(self.sl[:-1])))
@@ -326,18 +330,16 @@ class Curve:
         return self.maximum(Curve.zero())
 
     def minimum(self, other: "Curve") -> "Curve":
-        """Exact pointwise minimum."""
-        p1, s1 = self.pieces()
-        p2, s2 = other.pieces()
-        pts, segs = envelope(p1 + p2, s1 + s2, lower=True)
-        return Curve.from_pieces(pts, segs)
+        """Exact pointwise minimum (kernel-dispatched)."""
+        from .kernel import binary_op
+
+        return binary_op("minimum", self, other, _minimum_generic)
 
     def maximum(self, other: "Curve") -> "Curve":
-        """Exact pointwise maximum."""
-        p1, s1 = self.pieces()
-        p2, s2 = other.pieces()
-        pts, segs = envelope(p1 + p2, s1 + s2, lower=False)
-        return Curve.from_pieces(pts, segs)
+        """Exact pointwise maximum (kernel-dispatched)."""
+        from .kernel import binary_op
+
+        return binary_op("maximum", self, other, _maximum_generic)
 
     # ------------------------------------------------------------------ #
     # extrema
@@ -379,13 +381,16 @@ class Curve:
 
     def canonical(self) -> "Curve":
         """Return an equivalent curve with merged collinear pieces."""
+        if self._digest is not None:
+            # digest-stamped curves are canonical by construction
+            return self
         pts, segs = self.pieces()
         from .pieces import _canonicalize
 
         cp, cs = _canonicalize(pts, segs)
         return Curve.from_pieces(cp, cs)
 
-    def almost_equal(self, other: "Curve", tol: float = 1e-9) -> bool:
+    def almost_equal(self, other: "Curve", tol: float = EPS) -> bool:
         """Pointwise equality within ``tol`` (checked exactly via pieces)."""
         diff = self - other
         lo, hi = diff.inf(), diff.sup()
@@ -401,6 +406,11 @@ class Curve:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Curve):
             return NotImplemented
+        if self is other:
+            return True
+        if self._digest is not None and other._digest is not None:
+            # digests hash the canonical arrays: equality in O(1)
+            return self._digest == other._digest
         a, b = self.canonical(), other.canonical()
         return (
             np.array_equal(a.bx, b.bx)
@@ -417,6 +427,12 @@ class Curve:
         """Evaluate on a sequence of abscissae (alias of ``__call__``)."""
         return np.asarray(self(np.asarray(ts, dtype=float)))
 
+    def digest(self) -> str:
+        """Stable canonical-content digest (interns the curve)."""
+        from .kernel import digest_of
+
+        return digest_of(self)
+
     def __repr__(self) -> str:
         n = len(self.bx)
         if n == 1:
@@ -428,3 +444,19 @@ class Curve:
             f"Curve({n} breakpoints on [0, {self.bx[-1]:g}], "
             f"final slope {self.final_slope:g})"
         )
+
+
+def _minimum_generic(f: Curve, g: Curve) -> Curve:
+    """Envelope-based pointwise minimum (the kernel's generic fallback)."""
+    p1, s1 = f.pieces()
+    p2, s2 = g.pieces()
+    pts, segs = envelope(p1 + p2, s1 + s2, lower=True)
+    return Curve.from_pieces(pts, segs)
+
+
+def _maximum_generic(f: Curve, g: Curve) -> Curve:
+    """Envelope-based pointwise maximum (the kernel's generic fallback)."""
+    p1, s1 = f.pieces()
+    p2, s2 = g.pieces()
+    pts, segs = envelope(p1 + p2, s1 + s2, lower=False)
+    return Curve.from_pieces(pts, segs)

@@ -24,6 +24,7 @@ import numpy as np
 from .._validation import check_positive
 from .builders import leaky_bucket, rate_latency
 from .curve import Curve
+from .tolerance import EPS, rel_scale
 
 __all__ = [
     "burst_for_rate",
@@ -56,7 +57,13 @@ def burst_for_rate(times: Sequence[float], cumulative: Sequence[float], rate: fl
     check_positive("rate", rate)
     slack = r - rate * t
     running_min = np.minimum.accumulate(slack)
-    return float(max(0.0, np.max(slack - running_min)))
+    burst = float(np.max(slack - running_min))
+    # rounding noise can leave a vanishing positive burst on exact traces;
+    # snap it to zero under the shared canonicalisation tolerance so the
+    # fitted curve interns to the pure-rate shape
+    if burst <= EPS * rel_scale(float(r[-1])):
+        return 0.0
+    return burst
 
 
 def fit_leaky_bucket(

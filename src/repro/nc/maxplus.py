@@ -19,13 +19,22 @@ API completeness and the property-based algebra tests.
 from __future__ import annotations
 
 from .curve import Curve, UnboundedCurveError
+from .kernel import binary_op
 from .minplus import convolve, deconvolve
 
 __all__ = ["max_convolve", "max_deconvolve"]
 
 
 def max_convolve(f: Curve, g: Curve) -> Curve:
-    """Max-plus convolution ``sup_{0<=s<=t} f(s) + g(t-s)``."""
+    """Max-plus convolution ``sup_{0<=s<=t} f(s) + g(t-s)``.
+
+    Kernel-dispatched: memoized at this level, and the reflected
+    min-plus convolution underneath goes through the kernel again.
+    """
+    return binary_op("max_convolve", f, g, _max_convolve_generic)
+
+
+def _max_convolve_generic(f: Curve, g: Curve) -> Curve:
     return -(convolve(-f, -g))
 
 
@@ -35,6 +44,10 @@ def max_deconvolve(f: Curve, g: Curve) -> Curve:
     Raises :class:`UnboundedCurveError` (as ``-inf`` is unrepresentable)
     when ``g`` grows asymptotically faster than ``f``.
     """
+    return binary_op("max_deconvolve", f, g, _max_deconvolve_generic)
+
+
+def _max_deconvolve_generic(f: Curve, g: Curve) -> Curve:
     try:
         return -(deconvolve(-f, -g))
     except UnboundedCurveError as exc:

@@ -24,6 +24,7 @@ import math
 from typing import Iterable, Sequence
 
 from .curve import Curve, UnboundedCurveError
+from .kernel import binary_op
 from .pieces import Point, Segment, envelope
 
 __all__ = [
@@ -73,8 +74,15 @@ def convolve(f: Curve, g: Curve) -> Curve:
 
     For wide-sense increasing curves this is the service curve of two
     systems in tandem, and ``f (*) g <= min(f, g)`` whenever both vanish
-    at the origin.
+    at the origin.  Dispatched through :mod:`repro.nc.kernel`: known
+    shapes (rate-latency pairs, leaky buckets) take closed-form fast
+    paths and results are memoized by content digest.
     """
+    return binary_op("convolve", f, g, _convolve_generic)
+
+
+def _convolve_generic(f: Curve, g: Curve) -> Curve:
+    """The exact pairwise-piece envelope algorithm (kernel fallback)."""
     pf, sf = f.pieces()
     pg, sg = g.pieces()
     pts: list[Point] = []
@@ -259,7 +267,13 @@ def deconvolve(f: Curve, g: Curve) -> Curve:
     ``f.final_slope > g.final_slope`` (the paper's ``R_alpha > R_beta``
     regime, where the asymptotic bound is infinite — use
     :mod:`repro.nc.transient` for finite-horizon analysis instead).
+    Kernel-dispatched like :func:`convolve`.
     """
+    return binary_op("deconvolve", f, g, _deconvolve_generic)
+
+
+def _deconvolve_generic(f: Curve, g: Curve) -> Curve:
+    """The exact raw-piece upper-envelope algorithm (kernel fallback)."""
     if f.final_slope > g.final_slope:
         raise UnboundedCurveError(
             f"deconvolution unbounded: long-run slope of numerator "

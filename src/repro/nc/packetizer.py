@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from .._validation import check_non_negative
 from .curve import Curve
+from .kernel import unary_op
 
 __all__ = ["packetize_arrival", "packetize_service", "packetize_max_service", "Packetizer"]
 
@@ -30,6 +31,15 @@ def packetize_arrival(alpha: Curve, l_max: float) -> Curve:
     check_non_negative("l_max", l_max)
     if l_max == 0:
         return alpha
+    return unary_op(
+        "packetize_arrival",
+        alpha,
+        lambda a: _packetize_arrival_generic(a, l_max),
+        key_extra=(l_max,),
+    )
+
+
+def _packetize_arrival_generic(alpha: Curve, l_max: float) -> Curve:
     shifted = alpha.vshift(l_max)
     # restore the exact value at t = 0 (the vertical shift must not move it)
     by = shifted.by.copy()
@@ -42,7 +52,12 @@ def packetize_service(beta: Curve, l_max: float) -> Curve:
     check_non_negative("l_max", l_max)
     if l_max == 0:
         return beta
-    return beta.vshift(-l_max).max0()
+    return unary_op(
+        "packetize_service",
+        beta,
+        lambda b: b.vshift(-l_max).max0(),
+        key_extra=(l_max,),
+    )
 
 
 def packetize_max_service(gamma: Curve, l_max: float) -> Curve:

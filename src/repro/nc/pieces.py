@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, NamedTuple
 
+from .tolerance import EPS, close
+
 __all__ = [
     "Point",
     "Segment",
@@ -33,8 +35,9 @@ __all__ = [
     "eval_pieces",
 ]
 
-#: Absolute/relative tolerance used when canonicalising piece sequences.
-_EPS = 1e-9
+#: Canonicalisation tolerance — re-exported from the shared policy
+#: module (:mod:`repro.nc.tolerance`) for existing importers.
+_EPS = EPS
 
 
 class Point(NamedTuple):
@@ -78,13 +81,8 @@ class _Line(NamedTuple):
         return self.m * x + self.c
 
 
-def _close(a: float, b: float, eps: float = _EPS) -> bool:
-    """Tolerant float equality with a combined absolute/relative bound."""
-    if a == b:
-        return True
-    if math.isinf(a) or math.isinf(b):
-        return False
-    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+#: Tolerant float equality — alias of :func:`repro.nc.tolerance.close`.
+_close = close
 
 
 def lower_envelope_of_lines(

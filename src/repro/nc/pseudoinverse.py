@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 
 from .curve import Curve, UnboundedCurveError
+from .kernel import unary_op
 from .pieces import Point, Segment, envelope
 
 __all__ = ["lower_pseudo_inverse", "upper_pseudo_inverse"]
@@ -81,7 +82,12 @@ def lower_pseudo_inverse(f: Curve) -> Curve:
     Requires ``f`` nondecreasing and unbounded (``final_slope > 0`` or
     an infinite staircase); bounded curves have an infinite inverse
     above their supremum, which raises :class:`UnboundedCurveError`.
+    Kernel-dispatched (memoized by content digest).
     """
+    return unary_op("lower_pseudo_inverse", f, _lower_pinv_generic)
+
+
+def _lower_pinv_generic(f: Curve) -> Curve:
     if not f.is_nondecreasing():
         raise ValueError("pseudo-inverse requires a nondecreasing curve")
     if f.final_slope <= 0:
@@ -99,7 +105,12 @@ def upper_pseudo_inverse(f: Curve) -> Curve:
     Same domain restrictions as :func:`lower_pseudo_inverse`.  Flat
     pieces of ``f`` make the two inverses differ: the lower inverse
     takes a flat run's left end, the upper its right end.
+    Kernel-dispatched (memoized by content digest).
     """
+    return unary_op("upper_pseudo_inverse", f, _upper_pinv_generic)
+
+
+def _upper_pinv_generic(f: Curve) -> Curve:
     if not f.is_nondecreasing():
         raise ValueError("pseudo-inverse requires a nondecreasing curve")
     if f.final_slope <= 0:

@@ -34,6 +34,9 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from .. import __version__
+from ..nc.kernel import memo_stats as kernel_memo_stats
+from ..nc.kernel import publish_metrics as publish_kernel_metrics
+from ..nc.kernel import worker_init as kernel_worker_init
 from ..telemetry.metrics import MetricsRegistry
 from ..sweep.cache import ResultCache, point_key
 from ..sweep.runner import point_seed
@@ -126,7 +129,12 @@ class AnalysisServer:
     async def start(self) -> tuple[str, int]:
         """Create the pool, calibrate, build admission, begin accepting."""
         cfg = self.config
-        self.executor = ProcessPoolExecutor(max_workers=cfg.resolved_workers())
+        # each worker keeps one curve-algebra kernel memo for its whole
+        # lifetime: repeated /analyze requests over the same pipelines
+        # become kernel memo hits instead of fresh min-plus algebra
+        self.executor = ProcessPoolExecutor(
+            max_workers=cfg.resolved_workers(), initializer=kernel_worker_init
+        )
         if cfg.calibrate > 0:
             await self._calibrate(cfg.calibrate)
         self._build_admission()
@@ -414,14 +422,19 @@ class AnalysisServer:
         report["inflight"] = self._inflight
         report["batch_window_s"] = self.config.batch_window_s
         report["draining"] = self._draining
+        # the serving process runs its own NC algebra for admission
+        # control; expose that kernel's memo health alongside the model
+        report["kernel_memo"] = kernel_memo_stats()
         return report
 
     def stats(self) -> dict[str, Any]:
         """Counters, latency histograms, cache and batching effectiveness."""
+        publish_kernel_metrics(self.metrics)
         return {
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "batching": self.coalescer.stats(),
+            "kernel_memo": kernel_memo_stats(),
             "inflight": self._inflight,
         }
 
