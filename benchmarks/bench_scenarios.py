@@ -1,0 +1,95 @@
+"""Scenario-catalog benchmark: cold vs. warm (cache-hit) catalog runs.
+
+Runs the full built-in catalog twice against one content-addressed
+cache directory — cold (every scenario evaluated: NC analysis + DES +
+conformance + judging) and warm (every scenario a cache hit; only the
+judging recomputes) — and writes the timings to
+``BENCH_scenarios.json``.  The warm run must be at least 2x faster
+than the cold run: the point of routing scenarios through the sweep
+engine's content-addressed cache is that re-running the catalog (CI,
+report re-renders, local iteration) costs close to nothing.
+
+Run as a script for the full catalog:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+
+Under pytest, the quick subset keeps the invariants covered cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.scenarios import catalog, quick_catalog, run_catalog
+from repro.sweep import ResultCache
+
+
+def run_benchmark(specs=None, jobs: int | None = None) -> dict:
+    """Cold/warm catalog timing record (also asserts correctness)."""
+    specs = list(specs) if specs is not None else catalog()
+    jobs = jobs if jobs is not None else min(4, os.cpu_count() or 1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+
+        t0 = time.perf_counter()
+        cold = run_catalog(specs, jobs=jobs, cache=cache)
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = run_catalog(specs, jobs=jobs, cache=cache)
+        t_warm = time.perf_counter() - t0
+
+    assert cold.ok, f"cold catalog run failed:\n{cold.summary()}"
+    assert warm.ok, f"warm catalog run failed:\n{warm.summary()}"
+    assert warm.cache_hits == len(specs), "warm run must be pure cache reads"
+    assert warm.cache_misses == 0
+    assert [r.to_dict() for r in warm.results] == [
+        {**r.to_dict(), "cached": True, "elapsed": w.elapsed}
+        for r, w in zip(cold.results, warm.results)
+    ], "cold and warm runs must judge identically"
+
+    return {
+        "bench": "scenarios",
+        "version": __version__,
+        "n_scenarios": len(specs),
+        "n_checks": cold.n_checks,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "cold_scenarios_per_s": len(specs) / t_cold if t_cold > 0 else None,
+        "warm_scenarios_per_s": len(specs) / t_warm if t_warm > 0 else None,
+        "speedup_warm": t_cold / t_warm if t_warm > 0 else None,
+        "cold_mode": cold.mode,
+    }
+
+
+def test_catalog_cold_warm_agree():
+    """Tier-2 guard: warm == cold on the quick subset, and warm is a
+    pure cache read."""
+    record = run_benchmark(specs=quick_catalog(per_family=2), jobs=2)
+    assert record["n_scenarios"] == 6
+    assert record["warm_s"] < record["cold_s"], "warm cache must beat recompute"
+
+
+def main() -> None:
+    record = run_benchmark()
+    out = Path(__file__).parent / "BENCH_scenarios.json"
+    out.write_text(json.dumps(record, indent=1) + "\n")
+    print(json.dumps(record, indent=1))
+    print(f"\n[written to {out}]")
+    assert record["speedup_warm"] >= 2.0, (
+        f"expected warm catalog >= 2x faster than cold, "
+        f"got {record['speedup_warm']:.2f}x"
+    )
+    print(f"warm speedup {record['speedup_warm']:.2f}x (>= 2x OK)")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,13 @@ Commands
 ``repro request {ping,analyze,simulate,capacity,stats,shutdown} ...``
     issue one request to a running server and print the response;
 ``repro cache DIR [--stats | --clear | --max-age S]``
-    inspect or prune a content-addressed result cache directory.
+    inspect or prune a content-addressed result cache directory;
+``repro scenarios {list,run,report}``
+    the declarative scenario library: list the built-in catalog, run it
+    (model vs. DES vs. closed forms; exit status 1 on any violated
+    expectation) with optional parallelism/caching/report artifacts, or
+    re-render the markdown report from a previous run's
+    ``catalog.json`` — see :mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
@@ -173,6 +179,41 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--seed", type=int, default=None)
     pq.add_argument("--packetized", action="store_true")
     pq.add_argument("--timeout", type=float, default=60.0, help="client socket timeout")
+
+    pn = sub.add_parser(
+        "scenarios", help="declarative scenario library (model vs DES vs closed forms)"
+    )
+    nsub = pn.add_subparsers(dest="scenarios_command", required=True)
+
+    nl = nsub.add_parser("list", help="list catalog scenarios")
+    nl.add_argument("--family", choices=["classic", "randomized", "adversarial"],
+                    default=None, help="restrict to one generator family")
+    nl.add_argument("--quick", action="store_true", help="the CI smoke subset")
+
+    nr = nsub.add_parser("run", help="run scenarios and judge expectations")
+    sel = nr.add_mutually_exclusive_group()
+    sel.add_argument("--all", action="store_true",
+                     help="the full built-in catalog (default)")
+    sel.add_argument("--quick", action="store_true",
+                     help="the CI smoke subset (first scenarios of each family)")
+    sel.add_argument("--family", choices=["classic", "randomized", "adversarial"],
+                     default=None, help="one generator family")
+    sel.add_argument("--name", action="append", default=None, metavar="SCENARIO",
+                     help="one catalog scenario by name (repeatable)")
+    nr.add_argument("--file", action="append", default=[], type=Path,
+                    metavar="TOML", help="user-authored scenario file (repeatable, "
+                    "combines with the selection)")
+    nr.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    nr.add_argument("--cache-dir", type=Path, default=None,
+                    help="content-addressed result cache")
+    nr.add_argument("--out", type=Path, default=None,
+                    help="write catalog.{json,md} + per-scenario pages here")
+
+    np_ = nsub.add_parser("report", help="re-render markdown from catalog.json")
+    np_.add_argument("path", type=Path,
+                     help="catalog.json (or the directory containing it)")
+    np_.add_argument("--out", type=Path, default=None,
+                     help="rewrite the markdown pages here (default: print)")
 
     ph = sub.add_parser("cache", help="inspect or prune a result-cache directory")
     ph.add_argument("dir", type=Path, help="cache directory (as given to --cache-dir)")
@@ -519,6 +560,89 @@ def _cmd_cache(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _scenario_selection(args: argparse.Namespace) -> list:
+    """Resolve the ``scenarios run``/``list`` selection flags to specs."""
+    from . import scenarios as S
+
+    if getattr(args, "quick", False):
+        specs = S.quick_catalog()
+    elif getattr(args, "family", None):
+        specs = {
+            "classic": S.classic_scenarios,
+            "randomized": S.randomized_scenarios,
+            "adversarial": S.adversarial_scenarios,
+        }[args.family]()
+    elif getattr(args, "name", None):
+        by_name = {s.name: s for s in S.catalog()}
+        missing = [n for n in args.name if n not in by_name]
+        if missing:
+            raise SystemExit(
+                f"unknown scenario(s): {', '.join(missing)} "
+                "(see `repro scenarios list`)"
+            )
+        specs = [by_name[n] for n in args.name]
+    else:
+        specs = S.catalog()
+    for path in getattr(args, "file", []) or []:
+        try:
+            specs.append(S.load_scenario(path))
+        except FileNotFoundError:
+            raise SystemExit(f"scenario file not found: {path}")
+        except ValueError as exc:
+            raise SystemExit(f"invalid scenario file: {exc}")
+    return specs
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> "tuple[str, int]":
+    from . import scenarios as S
+    from .units import format_rate
+
+    if args.scenarios_command == "list":
+        rows = []
+        for s in _scenario_selection(args):
+            rows.append(
+                f"  {s.name:<32} {s.family:<12} stages={s.n_stages:<3}"
+                f" src={format_rate(s.pipeline['source']['rate']):>14}"
+                f"  {s.description}"
+            )
+        return f"{len(rows)} scenarios:\n" + "\n".join(rows), 0
+
+    if args.scenarios_command == "report":
+        path = args.path / "catalog.json" if args.path.is_dir() else args.path
+        try:
+            data = S.load_catalog_json(path)
+        except FileNotFoundError:
+            raise SystemExit(f"catalog report not found: {path}")
+        except ValueError as exc:
+            raise SystemExit(f"invalid catalog report: {exc}")
+        text = S.render_catalog_markdown(data)
+        if args.out is not None:
+            from ._fsutil import atomic_write_text
+
+            atomic_write_text(args.out / "catalog.md", text + "\n")
+            for doc in data["scenarios"]:
+                atomic_write_text(
+                    args.out / "scenarios" / f"{doc['name']}.md",
+                    S.render_scenario_markdown(doc) + "\n",
+                )
+            return f"report rewritten under {args.out}", 0
+        return text, 0
+
+    # run
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    specs = _scenario_selection(args)
+    from .sweep import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    result = S.run_catalog(specs, jobs=args.jobs, cache=cache)
+    lines = [result.summary()]
+    if args.out is not None:
+        path = S.write_reports(result, args.out)
+        lines.append(f"artifacts: {path.parent}/catalog.{{json,md}} + scenarios/")
+    return "\n".join(lines), 0 if result.ok else 1
+
+
 def _cmd_buffers(args: argparse.Namespace) -> str:
     from .streaming import size_buffers
 
@@ -545,6 +669,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "request": _cmd_request,
         "cache": _cmd_cache,
+        "scenarios": _cmd_scenarios,
     }[args.command]
     out = handler(args)
     text, status = out if isinstance(out, tuple) else (out, 0)

@@ -29,7 +29,14 @@ from .core import (
 )
 from .events import AllOf, AnyOf, Condition
 from .resources import Container, Resource, Store
-from .distributions import constant, exponential, uniform
+from .distributions import (
+    bounded_pareto,
+    constant,
+    exponential,
+    lognormal,
+    spawn_rngs,
+    uniform,
+)
 from .monitor import CumulativeFlow, DelayStats, StepSeries
 from .pipeline_sim import ByteQueue, Packet, PipelineSimulation, SimStage
 from .report import SimulationReport, StageStats
@@ -47,8 +54,11 @@ __all__ = [
     "Container",
     "Resource",
     "Store",
+    "bounded_pareto",
     "constant",
     "exponential",
+    "lognormal",
+    "spawn_rngs",
     "uniform",
     "CumulativeFlow",
     "DelayStats",

@@ -1,0 +1,345 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` describes one complete experiment: a pipeline
+(the same document schema :mod:`repro.streaming.io` round-trips — stages
+with rate/latency/job-ratio/``l_max`` measurements, a leaky-bucket
+source, optional compression-ratio normalization) plus
+:class:`Expectations` — what the analysis *must* produce: stability,
+closed-form delay/backlog bounds, queueing-theory cross-checks, and
+whether the DES run must pass bound-vs-observed conformance.
+
+Scenarios come from two places: the built-in generator families
+(:mod:`repro.scenarios.families`) construct them in code, and
+:func:`load_scenario` reads user-authored TOML files.  The TOML loader
+is strict in the same spirit as the model-JSON loader from PR 1: every
+unknown key and every out-of-range value raises a single actionable
+``ValueError`` naming the file and the dotted TOML path of the
+offending key.
+
+TOML schema (all rates bytes/s, sizes bytes, times seconds)::
+
+    name = "my-scenario"            # required
+    family = "custom"               # optional (default "custom")
+    description = "..."             # optional
+    workload_mib = 8.0              # DES workload (enables simulation)
+    seed = 42                       # DES seed
+    data_scenario = "avg"           # worst | avg | best
+    packetized = false              # packetized service curves in the NC run
+
+    [source]
+    rate = 100e6
+    burst = 0.0
+    packet_bytes = 65536
+
+    [[stages]]                      # >= 1, streaming-io stage schema
+    name = "crunch"
+    avg_rate = 200e6
+    latency = 1e-3
+    job_bytes = 262144
+    volume_ratio = { best = 1.0, avg = 1.0, worst = 1.0 }
+
+    [expect]
+    stable = true                   # omit any field to skip its check
+    conformance = true              # run DES + conformance, require PASS
+    delay_bound = 0.105             # closed-form values, checked within
+    backlog_bound = 1.05e6          # the nc.tolerance EPS policy (or rtol)
+    rtol = 1e-6                     # optional looser tolerance
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping
+
+from .._validation import check_positive
+from ..streaming import pipeline_from_dict
+from ..units import MiB
+from . import _toml
+
+__all__ = [
+    "FAMILIES",
+    "DATA_SCENARIOS",
+    "Expectations",
+    "ScenarioSpec",
+    "scenario_from_dict",
+    "load_scenario",
+]
+
+#: the catalog's generator families plus user-authored scenarios
+FAMILIES = ("classic", "randomized", "adversarial", "custom")
+DATA_SCENARIOS = ("worst", "avg", "best")
+
+
+@dataclass(frozen=True)
+class Expectations:
+    """What a scenario's evaluation must satisfy.
+
+    Every field is optional: ``None`` skips that check.  The float
+    fields are *closed forms* — values derived analytically from the
+    scenario's declared parameters, independently of the library code
+    that computes the corresponding quantity — and are compared under
+    the :mod:`repro.nc.tolerance` EPS policy (``rtol`` loosens this for
+    hand-rounded values in user files).
+
+    ``conformance=True`` additionally runs the DES and requires the
+    bound-vs-observed conformance verdict to be PASS.
+    """
+
+    stable: bool | None = None
+    conformance: bool | None = None
+    #: NC closed forms (from the affine delay/backlog formulas)
+    delay_bound: float | None = None
+    backlog_bound: float | None = None
+    total_latency: float | None = None
+    effective_burst: float | None = None
+    throughput_lower_bound: float | None = None
+    throughput_upper_bound: float | None = None
+    #: queueing-theory closed forms (vs :mod:`repro.queueing`)
+    queueing_prediction: float | None = None
+    mm1_mean_jobs: float | None = None
+    mm1_mean_sojourn: float | None = None
+    mm1_mean_wait: float | None = None
+    mg1_mean_wait: float | None = None
+    tandem_backlog_bytes: float | None = None
+    #: closed-form comparison tolerance; ``None`` = the EPS policy
+    rtol: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rtol is not None:
+            check_positive("rtol", self.rtol)
+        for f in fields(self):
+            if f.name in ("stable", "conformance"):
+                continue
+            v = getattr(self, f.name)
+            if v is not None and not math.isfinite(float(v)):
+                raise ValueError(f"expectation {f.name} must be finite, got {v!r}")
+
+    def closed_forms(self) -> dict[str, float]:
+        """The non-``None`` closed-form fields, keyed by name."""
+        out: dict[str, float] = {}
+        for f in fields(self):
+            if f.name in ("stable", "conformance", "rtol"):
+                continue
+            v = getattr(self, f.name)
+            if v is not None:
+                out[f.name] = float(v)
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: a pipeline document plus expectations."""
+
+    name: str
+    family: str
+    pipeline: Mapping[str, Any]
+    expect: Expectations = field(default_factory=Expectations)
+    description: str = ""
+    workload: float | None = None  # bytes of DES input
+    seed: int = 42
+    data_scenario: str = "avg"
+    packetized: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"scenario {self.name!r}: family must be one of {FAMILIES}, "
+                f"got {self.family!r}"
+            )
+        if self.data_scenario not in DATA_SCENARIOS:
+            raise ValueError(
+                f"scenario {self.name!r}: data_scenario must be one of "
+                f"{DATA_SCENARIOS}, got {self.data_scenario!r}"
+            )
+        if self.workload is not None:
+            check_positive("workload", self.workload)
+        if self.expect.conformance is not None and self.workload is None:
+            raise ValueError(
+                f"scenario {self.name!r}: a conformance expectation needs a workload"
+            )
+        # fail at definition time, not inside a worker: the document must
+        # round-trip through the streaming schema
+        pipeline_from_dict(dict(self.pipeline))
+
+    def build_pipeline(self):
+        """The scenario's pipeline as a live object."""
+        return pipeline_from_dict(dict(self.pipeline))
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.pipeline["stages"])
+
+    @property
+    def simulate(self) -> bool:
+        """Whether evaluation includes the DES + conformance leg."""
+        return self.expect.conformance is not None
+
+
+# --------------------------------------------------------------------- #
+# strict TOML -> spec
+# --------------------------------------------------------------------- #
+
+_TOP_KEYS = {
+    "name", "family", "description", "workload_mib", "seed",
+    "data_scenario", "packetized", "source", "stages", "expect",
+}
+_SOURCE_KEYS = {"rate", "burst", "packet_bytes"}
+_STAGE_KEYS = {
+    "name", "avg_rate", "min_rate", "max_rate", "latency", "job_bytes",
+    "emit_bytes", "kind", "volume_ratio", "exec_time_min", "exec_time_max",
+}
+_RATIO_KEYS = {"best", "avg", "worst"}
+_EXPECT_KEYS = {f.name for f in fields(Expectations)}
+
+
+def _fail(where: str, key: str, problem: str) -> "ValueError":
+    return ValueError(f"{where}: {key}: {problem}")
+
+
+def _reject_unknown(where: str, path: str, table: Mapping[str, Any], allowed: set) -> None:
+    unknown = sorted(set(table) - allowed)
+    if unknown:
+        raise _fail(
+            where,
+            f"{path}.{unknown[0]}" if path else unknown[0],
+            f"unknown key (expected one of: {', '.join(sorted(allowed))})",
+        )
+
+
+def _table(where: str, path: str, value: Any) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise _fail(where, path, f"must be a table, got {type(value).__name__}")
+    return value
+
+
+def _number(where: str, path: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(where, path, f"must be a number, got {value!r}")
+    return float(value)
+
+
+def _boolean(where: str, path: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise _fail(where, path, f"must be a boolean, got {value!r}")
+    return value
+
+
+def _string(where: str, path: str, value: Any) -> str:
+    if not isinstance(value, str):
+        raise _fail(where, path, f"must be a string, got {value!r}")
+    return value
+
+
+def scenario_from_dict(data: Mapping[str, Any], *, where: str = "scenario") -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from parsed TOML data, strictly.
+
+    ``where`` names the source (usually the file path) so every error
+    message reads ``<file>: <dotted.key>: <problem>`` — one actionable
+    ``ValueError`` per malformed input, never a traceback soup.
+    """
+    _reject_unknown(where, "", data, _TOP_KEYS)
+    if "name" not in data:
+        raise _fail(where, "name", "required key is missing")
+    name = _string(where, "name", data["name"])
+    family = _string(where, "family", data.get("family", "custom"))
+    if family not in FAMILIES:
+        raise _fail(where, "family", f"must be one of {FAMILIES}, got {family!r}")
+
+    if "source" not in data:
+        raise _fail(where, "source", "required table is missing")
+    src = _table(where, "source", data["source"])
+    _reject_unknown(where, "source", src, _SOURCE_KEYS)
+    if "rate" not in src:
+        raise _fail(where, "source.rate", "required key is missing")
+    source_doc = {k: _number(where, f"source.{k}", v) for k, v in src.items()}
+
+    if "stages" not in data or not isinstance(data["stages"], list) or not data["stages"]:
+        raise _fail(where, "stages", "need at least one [[stages]] table")
+    stage_docs = []
+    for i, entry in enumerate(data["stages"]):
+        path = f"stages[{i}]"
+        entry = _table(where, path, entry)
+        _reject_unknown(where, path, entry, _STAGE_KEYS)
+        for req in ("name", "avg_rate"):
+            if req not in entry:
+                raise _fail(where, f"{path}.{req}", "required key is missing")
+        doc: dict[str, Any] = {"name": _string(where, f"{path}.name", entry["name"])}
+        for key, value in entry.items():
+            if key == "name":
+                continue
+            if key == "kind":
+                doc[key] = _string(where, f"{path}.kind", value)
+            elif key == "volume_ratio":
+                vr = _table(where, f"{path}.volume_ratio", value)
+                _reject_unknown(where, f"{path}.volume_ratio", vr, _RATIO_KEYS)
+                doc[key] = {
+                    k: _number(where, f"{path}.volume_ratio.{k}", v)
+                    for k, v in vr.items()
+                }
+                for missing in _RATIO_KEYS - set(vr):
+                    doc[key][missing] = 1.0
+            else:
+                doc[key] = _number(where, f"{path}.{key}", value)
+        stage_docs.append(doc)
+
+    expect = Expectations()
+    if "expect" in data:
+        exp = _table(where, "expect", data["expect"])
+        _reject_unknown(where, "expect", exp, _EXPECT_KEYS)
+        kwargs: dict[str, Any] = {}
+        for key, value in exp.items():
+            if key in ("stable", "conformance"):
+                kwargs[key] = _boolean(where, f"expect.{key}", value)
+            else:
+                kwargs[key] = _number(where, f"expect.{key}", value)
+        try:
+            expect = Expectations(**kwargs)
+        except ValueError as exc:
+            raise _fail(where, "expect", str(exc)) from exc
+
+    workload = None
+    if "workload_mib" in data:
+        workload = _number(where, "workload_mib", data["workload_mib"]) * MiB
+    seed = data.get("seed", 42)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise _fail(where, "seed", f"must be an integer, got {seed!r}")
+
+    pipeline_doc = {"name": name, "source": source_doc, "stages": stage_docs}
+    try:
+        return ScenarioSpec(
+            name=name,
+            family=family,
+            description=_string(where, "description", data.get("description", "")),
+            pipeline=pipeline_doc,
+            expect=expect,
+            workload=workload,
+            seed=seed,
+            data_scenario=_string(
+                where, "data_scenario", data.get("data_scenario", "avg")
+            ),
+            packetized=_boolean(where, "packetized", data.get("packetized", False)),
+        )
+    except ValueError as exc:
+        # out-of-range values caught by the dataclass validators (negative
+        # rates, bad kinds, ...) — keep the single file-located message
+        raise ValueError(f"{where}: {exc}") from exc
+
+
+def load_scenario(path: "str | Path") -> ScenarioSpec:
+    """Read one scenario TOML file (strictly validated).
+
+    Malformed TOML, unknown keys and out-of-range values all raise
+    ``ValueError`` naming the file and key — callers need one except
+    clause, exactly like the model-JSON loader.
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        data = _toml.loads(text)
+    except _toml.TomlError as exc:
+        raise ValueError(f"{path}: not valid TOML: {exc}") from exc
+    return scenario_from_dict(data, where=str(path))

@@ -1,7 +1,7 @@
 """Figure rendering: ASCII plots, CSV export, and the paper's figures."""
 
 from .ascii_plot import ascii_histogram, ascii_plot
-from .csvout import series_to_csv, write_series_csv
+from .csvout import rows_to_markdown, series_to_csv, write_series_csv
 from .figures import FigureData, figure1, figure4, figure10
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "ascii_histogram",
     "series_to_csv",
     "write_series_csv",
+    "rows_to_markdown",
     "FigureData",
     "figure1",
     "figure4",

@@ -1,4 +1,4 @@
-"""CSV export for figure series (external plotting / archival)."""
+"""CSV/markdown table export for figure series (plotting / reports)."""
 
 from __future__ import annotations
 
@@ -11,7 +11,13 @@ import numpy as np
 
 from .._fsutil import atomic_write_text
 
-__all__ = ["series_to_csv", "write_series_csv", "rows_to_csv", "write_rows_csv"]
+__all__ = [
+    "series_to_csv",
+    "write_series_csv",
+    "rows_to_csv",
+    "write_rows_csv",
+    "rows_to_markdown",
+]
 
 
 def series_to_csv(
@@ -67,3 +73,30 @@ def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
 def write_rows_csv(rows: Sequence[Mapping[str, object]], path: "str | Path") -> Path:
     """Write :func:`rows_to_csv` output to ``path`` atomically."""
     return atomic_write_text(path, rows_to_csv(rows))
+
+
+def rows_to_markdown(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render flat record dicts as a GitHub-flavoured markdown table.
+
+    Same column discipline as :func:`rows_to_csv`: the header is the
+    union of all keys in first-appearance order, missing values render
+    empty.  Cells are padded so the source stays readable as text.
+    """
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    columns: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in columns:
+                columns.append(k)
+    cells = [[("" if row.get(c) is None else str(row.get(c, ""))) for c in columns]
+             for row in rows]
+    widths = [
+        max(len(c), max(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "| " + " | ".join(p.ljust(w) for p, w in zip(parts, widths)) + " |"
+
+    out = [line(columns), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

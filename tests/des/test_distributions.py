@@ -1,0 +1,95 @@
+"""Distribution sampler tests: heavy tails, means, seeding discipline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.des import bounded_pareto, constant, exponential, lognormal, spawn_rngs, uniform
+
+
+class TestSpawnRngs:
+    def test_streams_are_deterministic_and_independent_of_n(self):
+        a = spawn_rngs(123, 3)
+        b = spawn_rngs(123, 10)
+        for ra, rb in zip(a, b):
+            assert ra.uniform() == rb.uniform()
+
+    def test_different_seeds_differ(self):
+        assert spawn_rngs(1, 1)[0].uniform() != spawn_rngs(2, 1)[0].uniform()
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            spawn_rngs(1, -1)
+        assert spawn_rngs(1, 0) == []
+
+
+class TestBoundedPareto:
+    def test_support_is_respected(self):
+        dist = bounded_pareto(1.3, 2.0, 50.0)
+        rng = np.random.default_rng(0)
+        xs = [dist(rng) for _ in range(5000)]
+        assert min(xs) >= 2.0 and max(xs) <= 50.0
+
+    def test_mean_attribute_matches_empirical(self):
+        dist = bounded_pareto(1.5, 1.0, 100.0)
+        rng = np.random.default_rng(1)
+        xs = [dist(rng) for _ in range(200_000)]
+        assert np.mean(xs) == pytest.approx(dist.mean, rel=0.02)
+
+    def test_mean_at_shape_one(self):
+        # the a = 1 closed form: log(hi/lo) * lo*hi / (hi - lo)
+        dist = bounded_pareto(1.0, 1.0, math.e)
+        expected = 1.0 * math.e / (math.e - 1.0)
+        assert dist.mean == pytest.approx(expected, rel=1e-12)
+        rng = np.random.default_rng(2)
+        xs = [dist(rng) for _ in range(100_000)]
+        assert np.mean(xs) == pytest.approx(expected, rel=0.02)
+
+    def test_heavy_tail_is_heavier_than_uniform(self):
+        pareto = bounded_pareto(1.1, 1.0, 1000.0)
+        rng = np.random.default_rng(3)
+        xs = np.array([pareto(rng) for _ in range(20_000)])
+        # most mass near lo, occasional huge values: median well below the
+        # mean (a uniform on the same support has median == mean)
+        assert np.median(xs) < 0.5 * np.mean(xs)
+
+    def test_bounds_metadata_for_conformance(self):
+        dist = bounded_pareto(2.0, 3.0, 9.0)
+        assert (dist.lo, dist.hi) == (3.0, 9.0)
+
+    @pytest.mark.parametrize("args", [(0.0, 1, 2), (1.3, 0, 2), (1.3, 2, 2), (1.3, 3, 2)])
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            bounded_pareto(*args)
+
+
+class TestLognormal:
+    def test_mean_is_the_arithmetic_mean(self):
+        dist = lognormal(10.0, 0.8)
+        rng = np.random.default_rng(4)
+        xs = [dist(rng) for _ in range(200_000)]
+        assert np.mean(xs) == pytest.approx(10.0, rel=0.02)
+        assert dist.mean == 10.0
+
+    def test_sigma_zero_is_deterministic(self):
+        dist = lognormal(5.0, 0.0)
+        rng = np.random.default_rng(5)
+        assert dist(rng) == pytest.approx(5.0)
+
+    def test_unbounded_support_has_no_span_metadata(self):
+        # absence of lo/hi exempts the sampler from the service-span
+        # conformance check, which only covers bounded-support models
+        dist = lognormal(5.0, 0.5)
+        assert not hasattr(dist, "lo") and not hasattr(dist, "hi")
+        for bounded in (constant(1.0), uniform(1.0, 2.0)):
+            assert hasattr(bounded, "lo") and hasattr(bounded, "hi")
+        assert not hasattr(exponential(1.0), "lo")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lognormal(0.0, 0.5)
+        with pytest.raises(ValueError):
+            lognormal(1.0, -0.1)

@@ -1,0 +1,150 @@
+"""Edge cases for curve fitting and sub-additive closure.
+
+Three corners the scenario harness leans on: zero-latency stages
+(pure-rate service curves), degenerate one-piece curves, and offered
+loads within the shared EPS tolerance of the stability boundary
+(``rho -> 1``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.nc import (
+    EPS,
+    Curve,
+    backlog_bound,
+    close,
+    constant_rate,
+    delay_bound,
+    fit_leaky_bucket,
+    fit_rate_latency,
+    is_subadditive,
+    leaky_bucket,
+    rate_latency,
+    rate_latency_from_job_times,
+    subadditive_closure,
+)
+from repro.streaming import Pipeline, Source, Stage, analyze
+
+
+class TestZeroLatencyFitting:
+    def test_pure_rate_trace_fits_zero_latency(self):
+        # an exact r = R*t service trace: T must snap to exactly 0
+        times = [0.0, 1.0, 2.0, 4.0]
+        fitted = fit_rate_latency(times, [100.0 * t for t in times])
+        assert fitted == rate_latency(100.0, 0.0)
+        assert fitted(0.5) == 50.0  # no dead interval
+
+    def test_zero_latency_curve_bounds_are_pure_rate_terms(self):
+        beta = rate_latency(200.0, 0.0)
+        alpha = leaky_bucket(100.0, 30.0)
+        assert delay_bound(alpha, beta) == pytest.approx(30.0 / 200.0)
+        assert backlog_bound(alpha, beta) == pytest.approx(30.0)
+
+    def test_exact_linear_arrival_trace_has_zero_burst(self):
+        times = [0.0, 0.1, 0.2, 0.7, 1.0]
+        fitted = fit_leaky_bucket(times, [7.0 * t for t in times])
+        # rounding noise must snap to the pure-rate shape under EPS
+        assert fitted == leaky_bucket(7.0, 0.0)
+
+    def test_single_job_measurement(self):
+        # degenerate one-sample fit: R = size/time, T = time
+        fitted = rate_latency_from_job_times([8.0], [2.0])
+        assert fitted == rate_latency(4.0, 2.0)
+
+    def test_zero_latency_stage_in_a_pipeline(self):
+        pipe = Pipeline(
+            "zero-latency",
+            Source(100.0, 0.0, 1.0),
+            [Stage("wire", avg_rate=400.0, latency=0.0, job_bytes=1.0)],
+        )
+        report = analyze(pipe, packetized=False)
+        assert report.stable
+        # only the one-byte collection term survives in T_tot
+        assert report.total_latency == pytest.approx(1.0 / 100.0)
+        assert report.delay_bound == pytest.approx(1.0 / 100.0 + 1.0 / 400.0)
+
+
+class TestDegenerateClosures:
+    def test_constant_rate_is_its_own_closure(self):
+        f = constant_rate(5.0)
+        assert subadditive_closure(f) == f
+        assert is_subadditive(f)
+
+    def test_zero_curve_closure(self):
+        z = Curve.zero()
+        assert subadditive_closure(z) == z
+
+    def test_rate_latency_closure_is_zero(self):
+        # a curve that is 0 on [0, T] has closure identically 0: any t
+        # splits into sub-T chunks each contributing nothing
+        assert subadditive_closure(rate_latency(10.0, 3.0)) == Curve.zero()
+
+    def test_pure_burst_closure_pins_origin(self):
+        f = leaky_bucket(0.0, 4.0)  # constant b with a jump at 0
+        closed = subadditive_closure(f)
+        assert closed(0.0) == 0.0
+        assert closed(1.0) == pytest.approx(4.0)
+        assert is_subadditive(closed)
+
+    def test_concave_curve_short_circuits(self):
+        f = leaky_bucket(3.0, 2.0)
+        assert subadditive_closure(f) == f
+
+    def test_closure_rejects_negative_origin(self):
+        f = Curve.affine(1.0, -1.0)
+        with pytest.raises(ValueError, match=r"f\(0\) >= 0"):
+            subadditive_closure(f)
+
+
+class TestStabilityBoundary:
+    """``rho`` within EPS of 1: bounds stay finite and continuous."""
+
+    R, T, B = 128.0, 2e-3, 16.0
+
+    def test_rho_exactly_one(self):
+        alpha = leaky_bucket(self.R, self.B)
+        beta = rate_latency(self.R, self.T)
+        d = delay_bound(alpha, beta)
+        x = backlog_bound(alpha, beta)
+        assert d == pytest.approx(self.T + self.B / self.R)
+        assert x == pytest.approx(self.B + self.R * self.T)
+
+    def test_rho_one_minus_eps(self):
+        r_a = self.R * (1.0 - 1e-12)
+        assert close(r_a / self.R, 1.0, EPS)  # inside the tolerance band
+        alpha = leaky_bucket(r_a, self.B)
+        beta = rate_latency(self.R, self.T)
+        d = delay_bound(alpha, beta)
+        assert math.isfinite(d)
+        # continuous with the rho = 1 value under the shared EPS policy
+        assert close(d, self.T + self.B / self.R, EPS)
+
+    def test_boundary_is_continuous_across_stability_flip(self):
+        """The affine estimate equals the limit of the exact bound as
+        rho crosses 1: no jump at the stability boundary."""
+        stage = Stage("edge", avg_rate=self.R, latency=self.T, job_bytes=1.0)
+        reports = [
+            analyze(
+                Pipeline("edge", Source(self.R * f, self.B, 1.0), [stage]),
+                packetized=False,
+            )
+            for f in (1.0 - 1e-12, 1.0, 1.0 + 1e-12)
+        ]
+        below, at, above = reports
+        assert below.stable and at.stable and not above.stable
+        assert above.transient
+        for a, b in ((below, at), (at, above)):
+            assert close(a.delay_bound, b.delay_bound, 1e-9)
+            assert close(a.backlog_bound, b.backlog_bound, 1e-9)
+
+    def test_fit_recovers_a_critically_loaded_trace(self):
+        # service trace of a server running exactly at the arrival rate
+        times = [float(i) for i in range(1, 32)]
+        cumulative = [self.R * (t - self.T) for t in times]
+        fitted = fit_rate_latency(times, cumulative)
+        rho = self.R / fitted.sl[-1]
+        assert close(rho, 1.0, 1e-6)

@@ -1,0 +1,99 @@
+"""Catalog generator tests: size, determinism, and family invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    adversarial_scenarios,
+    catalog,
+    classic_scenarios,
+    quick_catalog,
+    randomized_scenarios,
+)
+
+
+class TestCatalogShape:
+    def test_catalog_size_floor(self):
+        specs = catalog()
+        assert len(specs) >= 25
+        families = {s.family for s in specs}
+        assert families == {"classic", "randomized", "adversarial"}
+
+    def test_every_family_contributes(self):
+        assert len(classic_scenarios()) >= 8
+        assert len(randomized_scenarios()) >= 8
+        assert len(adversarial_scenarios()) >= 8
+
+    def test_names_unique(self):
+        names = [s.name for s in catalog()]
+        assert len(set(names)) == len(names)
+
+    def test_quick_catalog_is_a_prefix_subset(self):
+        quick = quick_catalog(per_family=2)
+        assert len(quick) == 6
+        full_names = [s.name for s in catalog()]
+        assert all(s.name in full_names for s in quick)
+        assert {s.family for s in quick} == {"classic", "randomized", "adversarial"}
+
+    def test_every_scenario_checks_something(self):
+        for s in catalog():
+            has_forms = bool(s.expect.closed_forms())
+            assert s.expect.stable is not None or has_forms, s.name
+            # conformance-checked scenarios must carry a DES workload
+            if s.expect.conformance is not None:
+                assert s.workload is not None
+
+
+class TestDeterminism:
+    def test_catalog_is_reproducible(self):
+        a, b = catalog(), catalog()
+        assert [s.name for s in a] == [s.name for s in b]
+        for sa, sb in zip(a, b):
+            assert dict(sa.pipeline) == dict(sb.pipeline), sa.name
+            assert sa.expect == sb.expect, sa.name
+            assert sa.seed == sb.seed and sa.workload == sb.workload
+
+    def test_randomized_streams_are_per_scenario(self):
+        # SeedSequence spawning: scenario i is identical no matter how
+        # many siblings are generated
+        three, ten = randomized_scenarios(3), randomized_scenarios(10)
+        for sa, sb in zip(three, ten):
+            assert sa.name == sb.name
+            assert dict(sa.pipeline) == dict(sb.pipeline)
+            assert sa.expect == sb.expect
+
+    def test_randomized_base_seed_changes_content(self):
+        a = randomized_scenarios(3, base_seed=1)
+        b = randomized_scenarios(3, base_seed=2)
+        assert any(
+            dict(sa.pipeline) != dict(sb.pipeline) for sa, sb in zip(a, b)
+        )
+
+
+class TestFamilyInvariants:
+    @pytest.mark.parametrize("spec", randomized_scenarios(), ids=lambda s: s.name)
+    def test_randomized_scenarios_are_stable_by_construction(self, spec):
+        pipe = spec.build_pipeline()
+        bottleneck = min(s.rate_min for s in pipe.normalized())
+        assert pipe.source.rate <= bottleneck
+        assert spec.expect.stable is True
+        assert spec.expect.throughput_lower_bound == pipe.source.rate
+
+    def test_adversarial_covers_the_stress_axes(self):
+        names = {s.name for s in adversarial_scenarios()}
+        assert {"adv-saturation-exact", "adv-saturation-near",
+                "adv-saturation-past", "adv-bursty-source",
+                "adv-deep-chain-10", "adv-lmax-packetized"} <= names
+        specs = {s.name: s for s in adversarial_scenarios()}
+        assert specs["adv-saturation-past"].expect.stable is False
+        assert specs["adv-lmax-packetized"].packetized is True
+        assert specs["adv-deep-chain-10"].n_stages == 10
+        assert specs["adv-bursty-source"].pipeline["source"]["burst"] >= 2**24
+
+    def test_classic_families_carry_queueing_closed_forms(self):
+        by_name = {s.name: s for s in classic_scenarios()}
+        assert by_name["classic-mm1-rho80"].expect.mm1_mean_jobs == pytest.approx(4.0)
+        assert by_name["classic-mg1-uniform"].expect.mg1_mean_wait is not None
+        assert by_name["classic-tandem-little"].expect.tandem_backlog_bytes is not None
+        assert by_name["classic-roofline-bottleneck"].expect.stable is False
