@@ -29,6 +29,9 @@ Commands
     :mod:`repro.serve`;
 ``repro request {ping,analyze,simulate,capacity,stats,shutdown} ...``
     issue one request to a running server and print the response;
+``repro cluster {start,status,request} ...``
+    the sharded serve tier: N shards behind a digest-affinity router
+    with per-tenant NC admission — see :mod:`repro.cluster`;
 ``repro cache DIR [--stats | --clear | --max-age S]``
     inspect or prune a content-addressed result cache directory;
 ``repro scenarios {list,run,report}``
@@ -179,6 +182,78 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--seed", type=int, default=None)
     pq.add_argument("--packetized", action="store_true")
     pq.add_argument("--timeout", type=float, default=60.0, help="client socket timeout")
+    pq.add_argument("--tenant", default=None, help="tenant identity for the request")
+    pq.add_argument("--retries", type=int, default=0,
+                    help="retry 429/503 responses this many times "
+                    "(honors the server's retry_after_s hint)")
+    pq.add_argument("--connect-retries", type=int, default=0,
+                    help="extra connect attempts with exponential backoff "
+                    "(for a server that is still binding)")
+
+    pk = sub.add_parser(
+        "cluster", help="sharded serve tier (router + N shards, tenant admission)"
+    )
+    ksub = pk.add_subparsers(dest="cluster_command", required=True)
+
+    ks = ksub.add_parser("start", help="spawn N shards and run the router")
+    ks.add_argument("--host", default="127.0.0.1")
+    ks.add_argument("--port", type=int, default=7430, help="router port; 0 = ephemeral")
+    ks.add_argument("--shards", type=int, default=2, help="shard processes")
+    ks.add_argument("--workers-per-shard", type=int, default=1)
+    ks.add_argument("--shard-rate", type=float, default=None,
+                    help="per-shard admission rate R (requests/s)")
+    ks.add_argument("--shard-burst", type=float, default=None,
+                    help="per-shard admission burst b (requests)")
+    ks.add_argument("--slo-ms", type=float, default=None,
+                    help="per-shard delay SLO for admitted requests")
+    ks.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=RATE,BURST[,SLO_MS]",
+        help="pre-register a tenant leaky bucket (repeatable), "
+        "e.g. --tenant acme=50,20 --tenant edge=10,5,250",
+    )
+    ks.add_argument("--cache-dir", type=Path, default=None,
+                    help="result caches live under <dir>/<shard-name>")
+    ks.add_argument("--calibrate", type=int, default=6,
+                    help="per-shard calibration evaluations at startup")
+    ks.add_argument("--timeout-s", type=float, default=30.0, help="per-request timeout")
+    ks.add_argument("--drain-timeout-s", type=float, default=10.0)
+
+    kt = ksub.add_parser("status", help="rolled-up /capacity of a running cluster")
+    kt.add_argument("--host", default="127.0.0.1")
+    kt.add_argument("--port", type=int, default=7430)
+    kt.add_argument("--stats", action="store_true",
+                    help="show /stats (counters) instead of /capacity")
+
+    kq = ksub.add_parser("request", help="issue one request through the router")
+    kq.add_argument(
+        "op",
+        choices=["ping", "analyze", "simulate", "capacity", "stats",
+                 "register-tenant", "tenants", "shutdown"],
+    )
+    kq.add_argument("--host", default="127.0.0.1")
+    kq.add_argument("--port", type=int, default=7430)
+    kq.add_argument("--app", choices=["blast", "bitw"], default=None, help="built-in model")
+    kq.add_argument("--file", type=Path, default=None, help="pipeline model JSON")
+    kq.add_argument("--param", action="append", default=[], metavar="AXIS=VALUE",
+                    help="sweep-axis parameter (repeatable)")
+    kq.add_argument("--workload-mib", type=float, default=None)
+    kq.add_argument("--seed", type=int, default=None)
+    kq.add_argument("--packetized", action="store_true")
+    kq.add_argument("--timeout", type=float, default=60.0, help="client socket timeout")
+    kq.add_argument("--tenant", default=None, help="tenant identity")
+    kq.add_argument("--rate", type=float, default=None,
+                    help="register-tenant: sustained rate R (requests/s)")
+    kq.add_argument("--burst", type=float, default=None,
+                    help="register-tenant: burst b (requests)")
+    kq.add_argument("--slo-ms", type=float, default=None,
+                    help="register-tenant: per-tenant delay SLO")
+    kq.add_argument("--retries", type=int, default=0,
+                    help="retry 429/503 responses this many times")
+    kq.add_argument("--connect-retries", type=int, default=4,
+                    help="extra connect attempts with exponential backoff")
 
     pn = sub.add_parser(
         "scenarios", help="declarative scenario library (model vs DES vs closed forms)"
@@ -186,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     nsub = pn.add_subparsers(dest="scenarios_command", required=True)
 
     nl = nsub.add_parser("list", help="list catalog scenarios")
-    nl.add_argument("--family", choices=["classic", "randomized", "adversarial"],
+    nl.add_argument("--family", choices=["classic", "randomized", "adversarial", "multiflow"],
                     default=None, help="restrict to one generator family")
     nl.add_argument("--quick", action="store_true", help="the CI smoke subset")
 
@@ -196,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="the full built-in catalog (default)")
     sel.add_argument("--quick", action="store_true",
                      help="the CI smoke subset (first scenarios of each family)")
-    sel.add_argument("--family", choices=["classic", "randomized", "adversarial"],
+    sel.add_argument("--family", choices=["classic", "randomized", "adversarial", "multiflow"],
                      default=None, help="one generator family")
     sel.add_argument("--name", action="append", default=None, metavar="SCENARIO",
                      help="one catalog scenario by name (repeatable)")
@@ -508,15 +583,123 @@ def _cmd_request(args: argparse.Namespace) -> tuple[str, int]:
     if args.packetized:
         options["packetized"] = True
     try:
-        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        with ServeClient(
+            args.host, args.port, timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        ) as client:
             response = client.request(
                 args.op,
                 model=model,
                 params=_parse_request_params(args.param) or None,
                 options=options or None,
+                tenant=args.tenant,
+                retries=args.retries,
             )
     except (ConnectionError, OSError) as exc:
         raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {exc}")
+    return json.dumps(response, indent=1), 0 if response.get("ok") else 1
+
+
+def _parse_tenant_flags(pairs: "list[str]") -> "list[tuple[str, float, float, float | None]]":
+    """``NAME=RATE,BURST[,SLO_MS]`` flags → (name, rate, burst, slo_s) rows."""
+    tenants = []
+    for pair in pairs:
+        name, sep, spec = pair.partition("=")
+        parts = spec.split(",") if sep else []
+        if not name or len(parts) not in (2, 3):
+            raise SystemExit(
+                f"bad --tenant {pair!r} (expected NAME=RATE,BURST[,SLO_MS])"
+            )
+        try:
+            rate, burst = float(parts[0]), float(parts[1])
+            slo_s = float(parts[2]) / 1e3 if len(parts) == 3 else None
+        except ValueError:
+            raise SystemExit(f"bad --tenant {pair!r}: non-numeric rate/burst/slo")
+        tenants.append((name, rate, burst, slo_s))
+    return tenants
+
+
+def _cmd_cluster(args: argparse.Namespace) -> tuple[str, int]:
+    import json
+
+    from .serve import ServeClient
+
+    if args.cluster_command == "start":
+        from .cluster import ClusterConfig
+        from .cluster.orchestrator import run as cluster_run
+
+        if args.timeout_s <= 0:
+            raise SystemExit("--timeout-s must be > 0")
+        config = ClusterConfig(
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            host=args.host,
+            port=args.port,
+            shard_rate=args.shard_rate,
+            shard_burst=args.shard_burst,
+            slo_s=args.slo_ms / 1e3 if args.slo_ms is not None else None,
+            request_timeout_s=args.timeout_s,
+            drain_timeout_s=args.drain_timeout_s,
+            cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+            calibrate=args.calibrate,
+            tenants=_parse_tenant_flags(args.tenant),
+        )
+        try:
+            status = cluster_run(config)
+        except ValueError as exc:
+            raise SystemExit(f"bad cluster configuration: {exc}")
+        return "", status  # run() prints its own listening/drain lines
+
+    if args.cluster_command == "status":
+        op = "stats" if args.stats else "capacity"
+        try:
+            with ServeClient(args.host, args.port, connect_retries=2) as client:
+                response = client.request(op)
+        except (ConnectionError, OSError) as exc:
+            raise SystemExit(f"cannot reach router at {args.host}:{args.port}: {exc}")
+        return json.dumps(response, indent=1), 0 if response.get("ok") else 1
+
+    # request
+    from .streaming import pipeline_to_dict
+
+    op = args.op.replace("-", "_")
+    model = None
+    if op in ("analyze", "simulate"):
+        if args.file is not None:
+            model = pipeline_to_dict(_load_model_file(args.file))
+        elif args.app is not None:
+            model = pipeline_to_dict(_pipeline_for(args.app))
+        else:
+            raise SystemExit(f"op {args.op!r} needs --app or --file for the model")
+    options: dict = {}
+    if op == "register_tenant":
+        if args.tenant is None or args.rate is None or args.burst is None:
+            raise SystemExit("register-tenant needs --tenant, --rate and --burst")
+        options = {"rate": args.rate, "burst": args.burst}
+        if args.slo_ms is not None:
+            options["slo_ms"] = args.slo_ms
+    else:
+        if args.workload_mib is not None:
+            options["workload_mib"] = args.workload_mib
+        if args.seed is not None:
+            options["seed"] = args.seed
+        if args.packetized:
+            options["packetized"] = True
+    try:
+        with ServeClient(
+            args.host, args.port, timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        ) as client:
+            response = client.request(
+                op,
+                model=model,
+                params=_parse_request_params(args.param) or None,
+                options=options or None,
+                tenant=args.tenant,
+                retries=args.retries,
+            )
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach router at {args.host}:{args.port}: {exc}")
     return json.dumps(response, indent=1), 0 if response.get("ok") else 1
 
 
@@ -571,6 +754,7 @@ def _scenario_selection(args: argparse.Namespace) -> list:
             "classic": S.classic_scenarios,
             "randomized": S.randomized_scenarios,
             "adversarial": S.adversarial_scenarios,
+            "multiflow": S.multiflow_scenarios,
         }[args.family]()
     elif getattr(args, "name", None):
         by_name = {s.name: s for s in S.catalog()}
@@ -668,6 +852,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "cluster": _cmd_cluster,
         "cache": _cmd_cache,
         "scenarios": _cmd_scenarios,
     }[args.command]

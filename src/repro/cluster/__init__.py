@@ -1,0 +1,55 @@
+"""Sharded serve tier: consistent-hash routing + per-tenant NC admission.
+
+The scaled-out form of :mod:`repro.serve`, built from the paper's own
+multi-flow machinery (ROADMAP item 2).  N independent shards — each a
+full single-node serving stack in its own process: asyncio loop, worker
+pool, kernel memo, result cache — sit behind one router that
+
+1. **routes by content digest**: requests hash by the same
+   :func:`repro.sweep.cache.point_key` the caches use, on a consistent
+   ring (:mod:`repro.cluster.ring`), so identical analyses land on the
+   same shard and its memo/cache stay hot;
+2. **admits by tenant**: every tenant declares a leaky bucket
+   ``alpha_i(t) = R_i t + b_i``; the router enforces it and holds the
+   paper's §3 aggregate ``sum alpha_i`` against the cluster service
+   curve rolled up from each shard's self-calibrated beta, quoting a
+   live FIFO-residual delay bound per tenant
+   (:mod:`repro.cluster.tenants`);
+3. **fails over on the ring**: a shard that dies mid-request is marked
+   down and traffic re-routes to its ring successor
+   (:mod:`repro.cluster.router`).
+
+* :mod:`repro.cluster.ring`         — consistent-hash ring;
+* :mod:`repro.cluster.tenants`      — tenant registry + NC bounds;
+* :mod:`repro.cluster.router`       — the routing/admission listener;
+* :mod:`repro.cluster.shards`       — shard subprocess supervision;
+* :mod:`repro.cluster.orchestrator` — cluster lifecycle (``repro
+  cluster start``, the :class:`ClusterThread` test harness);
+* :mod:`repro.cluster.loadgen`      — open-loop heavy-tailed replay.
+"""
+
+from .loadgen import ReplayReport, ScheduledRequest, build_schedule, replay
+from .orchestrator import Cluster, ClusterConfig, ClusterThread, run
+from .ring import HashRing
+from .router import ClusterRouter, RouterConfig, ShardDown, ShardLink
+from .shards import ShardProcess
+from .tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "ReplayReport",
+    "ScheduledRequest",
+    "build_schedule",
+    "replay",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterThread",
+    "run",
+    "HashRing",
+    "ClusterRouter",
+    "RouterConfig",
+    "ShardDown",
+    "ShardLink",
+    "ShardProcess",
+    "Tenant",
+    "TenantRegistry",
+]

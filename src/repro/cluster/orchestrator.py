@@ -1,0 +1,280 @@
+"""Cluster lifecycle: spawn shards, start the router, drain both.
+
+The composition root of the cluster tier.  :class:`ClusterConfig`
+describes the whole deployment (shard count, per-shard envelope, tenant
+pre-registrations); :class:`Cluster` turns it into N
+:class:`~repro.cluster.shards.ShardProcess`es plus one
+:class:`~repro.cluster.router.ClusterRouter` on the calling loop;
+:class:`ClusterThread` is the test/benchmark harness (full production
+path on a background thread, like ``serve.ServerThread``); :func:`run`
+is the blocking ``repro cluster start`` body.
+
+Shutdown ordering matters and is the reverse of startup: the router
+drains first (stops accepting, answers in-flight forwards — each of
+which needs its shard still alive), then each shard gets SIGTERM and
+performs its own lossless drain.  The cluster drain is *clean* iff the
+router dropped nothing and every shard exited 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..serve.engine import ServeConfig
+from ..serve.protocol import PROTOCOL_VERSION
+from .router import ClusterRouter, RouterConfig
+from .shards import ShardProcess
+from .tenants import TenantRegistry
+
+__all__ = ["ClusterConfig", "Cluster", "ClusterThread", "run"]
+
+
+@dataclass
+class ClusterConfig:
+    """One deployment: router knobs + a shard template + tenant table."""
+
+    shards: int = 2
+    workers_per_shard: int = 1
+    host: str = "127.0.0.1"
+    port: int = 0  # router port; 0 = ephemeral
+    shard_rate: "float | None" = None  # per-shard admission envelope alpha
+    shard_burst: "float | None" = None
+    slo_s: "float | None" = None  # per-shard delay SLO
+    batch_window_s: float = 0.0
+    max_batch: int = 16
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    cache_dir: "str | None" = None  # each shard caches under <dir>/<shard-name>
+    calibrate: int = 6
+    vnodes: int = 64
+    #: tenants registered before the router accepts: (name, rate, burst, slo_s)
+    tenants: "list[tuple[str, float, float, float | None]]" = field(default_factory=list)
+
+    def shard_config(self, index: int) -> ServeConfig:
+        name = f"shard-{index}"
+        return ServeConfig(
+            host=self.host,
+            port=0,  # always ephemeral: N shards must not collide
+            workers=self.workers_per_shard,
+            slo_s=self.slo_s,
+            rate=self.shard_rate,
+            burst=self.shard_burst,
+            batch_window_s=self.batch_window_s,
+            max_batch=self.max_batch,
+            request_timeout_s=self.request_timeout_s,
+            drain_timeout_s=self.drain_timeout_s,
+            cache_dir=(
+                os.path.join(self.cache_dir, name) if self.cache_dir else None
+            ),
+            calibrate=self.calibrate,
+            name=name,
+        )
+
+    def router_config(self) -> RouterConfig:
+        return RouterConfig(
+            host=self.host,
+            port=self.port,
+            forward_timeout_s=self.request_timeout_s + 30.0,
+            drain_timeout_s=self.drain_timeout_s,
+            vnodes=self.vnodes,
+        )
+
+
+class Cluster:
+    """Shard processes + router, owned by the calling asyncio loop."""
+
+    def __init__(self, config: "ClusterConfig | None" = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        if self.config.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.config.shards}")
+        self.shards: list[ShardProcess] = []
+        self.router: "ClusterRouter | None" = None
+        self.host = self.config.host
+        self.port: "int | None" = None
+
+    async def start(self) -> tuple[str, int]:
+        """Spawn every shard, wait for their ports, start the router."""
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        self.shards = [
+            ShardProcess(cfg.shard_config(i)) for i in range(cfg.shards)
+        ]
+        # shard startup (spawn + pool + calibration) is seconds of wall
+        # clock each; launch them all, then collect ports concurrently
+        endpoints = await asyncio.gather(
+            *(loop.run_in_executor(None, shard.start) for shard in self.shards)
+        )
+        registry = TenantRegistry()
+        for name, rate, burst, slo_s in cfg.tenants:
+            registry.register(name, rate, burst, slo_s=slo_s)
+        self.router = ClusterRouter(
+            [
+                (shard.name, host, port)
+                for shard, (host, port) in zip(self.shards, endpoints)
+            ],
+            cfg.router_config(),
+            registry=registry,
+        )
+        self.host, self.port = await self.router.start()
+        return self.host, self.port
+
+    async def drain(self) -> dict[str, Any]:
+        """Router first, then SIGTERM each shard; clean iff fully lossless."""
+        assert self.router is not None
+        summary = await self.router.drain()
+        loop = asyncio.get_running_loop()
+        exit_codes = await asyncio.gather(
+            *(loop.run_in_executor(None, shard.terminate) for shard in self.shards)
+        )
+        summary["shard_exit_codes"] = {
+            shard.name: code for shard, code in zip(self.shards, exit_codes)
+        }
+        # a shard the router already declared down died by design (e.g.
+        # failover injection); only live shards owe a lossless exit
+        summary["clean"] = summary["clean"] and all(
+            code == 0
+            for shard, code in zip(self.shards, exit_codes)
+            if shard.name not in self.router.down
+        )
+        return summary
+
+
+async def _amain(config: ClusterConfig, *, install_signals: bool = True,
+                 ready: "threading.Event | None" = None,
+                 handle: "ClusterThread | None" = None) -> dict[str, Any]:
+    cluster = Cluster(config)
+    host, port = await cluster.start()
+    assert cluster.router is not None
+    if install_signals:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(sig, cluster.router.request_shutdown)
+    if handle is not None:
+        handle._attach(cluster, asyncio.get_running_loop())
+    print(
+        f"repro-cluster [router] listening on {host}:{port} "
+        f"(pid {os.getpid()}, {config.shards} shard(s) x "
+        f"{config.workers_per_shard} worker(s), protocol v{PROTOCOL_VERSION})",
+        flush=True,
+    )
+    for shard in cluster.shards:
+        print(
+            f"repro-cluster [router]   {shard.name} at {shard.host}:{shard.port}",
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    await cluster.router.wait_shutdown()
+    summary = await cluster.drain()
+    verdict = "clean" if summary["clean"] else f"DROPPED {summary['dropped']}"
+    print(
+        f"repro-cluster [router] drained ({verdict}): "
+        f"{summary['served']} served, {summary['rejected']} rejected, "
+        f"{summary['dropped']} dropped, shard exits "
+        f"{summary['shard_exit_codes']}",
+        flush=True,
+    )
+    return summary
+
+
+def run(config: "ClusterConfig | None" = None) -> int:
+    """Blocking entry point (the ``repro cluster start`` command body)."""
+    summary = asyncio.run(
+        _amain(config if config is not None else ClusterConfig())
+    )
+    return 0 if summary["clean"] else 1
+
+
+class ClusterThread:
+    """A full cluster hosted on a background thread — the test harness.
+
+    Real shard subprocesses, real router sockets, real drain::
+
+        with ClusterThread(ClusterConfig(shards=2)) as cluster:
+            client = ServeClient(cluster.host, cluster.port)
+            ...
+    """
+
+    def __init__(self, config: "ClusterConfig | None" = None, *,
+                 start_timeout: float = 300.0) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.summary: "dict[str, Any] | None" = None
+        self.error: "BaseException | None" = None
+        self._cluster: "Cluster | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-cluster"
+        )
+        self._thread.start()
+        if not self._ready.wait(start_timeout):
+            raise TimeoutError("cluster thread failed to start in time")
+        if self.error is not None:
+            raise RuntimeError(f"cluster thread failed: {self.error}") from self.error
+
+    def _attach(self, cluster: Cluster, loop: asyncio.AbstractEventLoop) -> None:
+        self._cluster = cluster
+        self._loop = loop
+
+    def _run(self) -> None:
+        try:
+            self.summary = asyncio.run(
+                _amain(self.config, install_signals=False, ready=self._ready,
+                       handle=self)
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the creating thread
+            self.error = exc
+            self._ready.set()
+
+    @property
+    def cluster(self) -> Cluster:
+        assert self._cluster is not None
+        return self._cluster
+
+    @property
+    def router(self) -> ClusterRouter:
+        assert self._cluster is not None and self._cluster.router is not None
+        return self._cluster.router
+
+    @property
+    def shards(self) -> list[ShardProcess]:
+        assert self._cluster is not None
+        return self._cluster.shards
+
+    @property
+    def host(self) -> str:
+        assert self._cluster is not None
+        return self._cluster.host
+
+    @property
+    def port(self) -> int:
+        assert self._cluster is not None and self._cluster.port is not None
+        return self._cluster.port
+
+    def stop(self, timeout: float = 120.0) -> dict[str, Any]:
+        """Graceful drain (same path as SIGTERM); returns the summary."""
+        if self._loop is not None and self._thread.is_alive():
+            router = self.router
+            self._loop.call_soon_threadsafe(router.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("cluster thread did not drain in time")
+        if self.error is not None:
+            raise RuntimeError(f"cluster thread failed: {self.error}") from self.error
+        assert self.summary is not None
+        return self.summary
+
+    def __enter__(self) -> "ClusterThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._thread.is_alive():
+            self.stop()

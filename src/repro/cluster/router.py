@@ -1,0 +1,484 @@
+"""The cluster router: digest-affinity forwarding + tenant admission.
+
+One asyncio process that speaks the same NDJSON protocol as a shard
+(:mod:`repro.serve.protocol`) and sits in front of N shards:
+
+* **Routing** — evaluation requests are hashed by the *content digest*
+  (:func:`repro.sweep.cache.point_key` over model+params+options, the
+  same key the sweep cache and every shard's result cache use), then
+  routed on a consistent-hash ring.  Identical analyses always hit the
+  same shard, so shard-local result caches and per-worker kernel memos
+  stay hot.
+* **Tenant admission** — the router runs the cluster's NC front door:
+  each tenant's declared leaky bucket is enforced here (429 with a
+  live per-tenant residual-service delay bound), and ``/capacity``
+  reports the paper's aggregate ``sum alpha_i`` against the cluster
+  beta rolled up from each shard's self-calibrated service curve.
+* **Failover** — a shard that dies mid-request (connection refused,
+  reset, or EOF before a response line) is marked down and the request
+  is re-forwarded to the ring successor; the event is counted in
+  ``cluster.failover`` and the shard shows up in ``/stats`` as down.
+
+The router forwards the client's *raw request line* unchanged — the
+shard re-validates and the response ``id`` matches without any
+re-writing; the router only injects routing metadata (``shard``,
+``failover``) into the response result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import __version__
+from ..nc.builders import rate_latency
+from ..nc.curve import Curve
+from ..sweep.cache import point_key
+from ..telemetry.metrics import MetricsRegistry
+from ..serve.protocol import (
+    EVAL_OPS,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .ring import HashRing
+from .tenants import TenantRegistry
+
+__all__ = ["RouterConfig", "ShardDown", "ShardLink", "ClusterRouter"]
+
+
+@dataclass
+class RouterConfig:
+    """Router-side knobs (shard knobs live in each shard's ServeConfig)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    forward_timeout_s: float = 60.0
+    drain_timeout_s: float = 10.0
+    vnodes: int = 64
+    name: str = "router"
+
+
+class ShardDown(ConnectionError):
+    """The shard did not answer: refused, reset, or EOF mid-exchange."""
+
+
+class ShardLink:
+    """A small connection pool from the router to one shard."""
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def exchange(self, frame: bytes) -> dict[str, Any]:
+        """One request line out, one response line back, over a pooled conn."""
+        if self._free:
+            reader, writer = self._free.pop()
+        else:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+            except (ConnectionError, OSError) as exc:
+                raise ShardDown(f"shard {self.name!r} refused: {exc}") from exc
+        try:
+            writer.write(frame)
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ShardDown(f"shard {self.name!r} closed mid-exchange")
+            doc = json.loads(line)
+        except ShardDown:
+            self._discard(writer)
+            raise
+        except (ConnectionError, OSError, ValueError) as exc:
+            self._discard(writer)
+            raise ShardDown(f"shard {self.name!r} failed: {exc}") from exc
+        self._free.append((reader, writer))
+        return doc
+
+    def _discard(self, writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    async def aclose(self) -> None:
+        for _reader, writer in self._free:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+        self._free.clear()
+
+
+class ClusterRouter:
+    """The listener that fronts the shard set."""
+
+    def __init__(
+        self,
+        shards: "list[tuple[str, str, int]]",
+        config: "RouterConfig | None" = None,
+        *,
+        registry: "TenantRegistry | None" = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("ClusterRouter needs at least one shard")
+        self.config = config if config is not None else RouterConfig()
+        self.links = {name: ShardLink(name, host, port) for name, host, port in shards}
+        self.ring = HashRing(self.links, vnodes=self.config.vnodes)
+        self.registry = registry if registry is not None else TenantRegistry()
+        self.metrics = MetricsRegistry()
+        self.down: set[str] = set()
+        self.host = self.config.host
+        self.port: "int | None" = None
+        self.beta: "Curve | None" = None
+        self.beta_info: "dict[str, Any] | None" = None
+        self._server: "asyncio.base_events.Server | None" = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._shutdown_requested = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> tuple[str, int]:
+        await self.refresh_beta()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        self._shutdown_requested.set()
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown_requested.wait()
+
+    async def drain(self) -> dict[str, Any]:
+        """Stop accepting, answer in-flight requests, close shard links."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        dropped = 0
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_s)
+        except asyncio.TimeoutError:
+            dropped = self._inflight
+        for link in self.links.values():
+            await link.aclose()
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        return {
+            "served": int(self.metrics.counter("cluster.responses").value),
+            "rejected": int(self.metrics.counter("cluster.rejected").value),
+            "dropped": dropped,
+            "clean": dropped == 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # cluster beta (rolled up from shard self-models)
+    # ------------------------------------------------------------------ #
+
+    async def refresh_beta(self) -> "Curve | None":
+        """Roll the live shards' capacity into one cluster service curve.
+
+        A shard contributes its *admission envelope* rate when one is
+        configured (traffic beyond that is 429'd by the shard itself,
+        so that is the service the cluster can actually promise) and
+        its measured service rate otherwise; latency is the worst
+        shard's dispatch latency.  ``beta(t) = (sum R_i)(t - max T_i)``
+        — the parallel-server aggregation the scale benchmark measures.
+        """
+        reports = await self._fan_out("capacity")
+        rates: list[float] = []
+        latencies: list[float] = [0.0]
+        per_shard: dict[str, Any] = {}
+        for name, doc in reports.items():
+            if not isinstance(doc, dict) or not doc.get("ok"):
+                continue
+            report = doc.get("result") or {}
+            envelope = report.get("arrival_curve") or {}
+            service = report.get("service_curve") or {}
+            rate = envelope.get("rate_rps")
+            if rate is None:
+                rate = service.get("service_rate_rps")
+            if rate is None:
+                continue
+            rates.append(float(rate))
+            latencies.append(float(service.get("dispatch_latency_s") or 0.0))
+            per_shard[name] = {"rate_rps": float(rate)}
+        if not rates:
+            self.beta = None
+            self.beta_info = None
+            return None
+        total_rate = sum(rates)
+        latency = max(latencies)
+        self.beta = rate_latency(total_rate, latency)
+        self.beta_info = {
+            "kind": "rate_latency",
+            "rate_rps": total_rate,
+            "latency_s": latency,
+            "shards": per_shard,
+        }
+        return self.beta
+
+    async def _fan_out(self, op: str) -> dict[str, Any]:
+        """Send one introspection op to every live shard concurrently."""
+
+        async def ask(name: str) -> tuple[str, Any]:
+            frame = encode({"v": PROTOCOL_VERSION, "id": f"router-{op}", "op": op})
+            try:
+                return name, await asyncio.wait_for(
+                    self.links[name].exchange(frame), self.config.forward_timeout_s
+                )
+            except (ShardDown, asyncio.TimeoutError):
+                self._mark_down(name)
+                return name, None
+
+        live = [name for name in self.links if name not in self.down]
+        results = await asyncio.gather(*(ask(name) for name in live))
+        return dict(results)
+
+    def _mark_down(self, name: str) -> None:
+        if name not in self.down:
+            self.down.add(name)
+            self.metrics.counter("cluster.shards_lost").inc()
+
+    # ------------------------------------------------------------------ #
+    # connection plumbing (same frame discipline as AnalysisServer)
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            with contextlib.suppress(OSError):
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        self._writers.add(writer)
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode(error_response(
+                        None, status=413, code="too_large",
+                        message=f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    response = await self._serve_line(line)
+                    writer.write(encode(response))
+                    await writer.drain()
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes) -> dict[str, Any]:
+        self.metrics.counter("cluster.requests").inc()
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.counter("cluster.errors").inc()
+            return error_response(None, status=exc.status, code=exc.code, message=str(exc))
+        try:
+            response = await self._dispatch(request, line)
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the router
+            self.metrics.counter("cluster.errors").inc()
+            response = error_response(
+                request.id, status=500, code="internal",
+                message=f"{type(exc).__name__}: {exc}",
+            )
+        if response.get("ok"):
+            self.metrics.counter("cluster.responses").inc()
+        else:
+            self.metrics.counter("cluster.errors").inc()
+        return response
+
+    async def _dispatch(self, req: Request, raw: bytes) -> dict[str, Any]:
+        if req.op == "ping":
+            return ok_response(req.id, {
+                "pong": True, "role": "router", "version": __version__,
+                "protocol": PROTOCOL_VERSION,
+                "shards": sorted(self.links),
+                "down": sorted(self.down),
+            })
+        if req.op == "register_tenant":
+            return await self._register_tenant(req)
+        if req.op == "tenants":
+            await self.refresh_beta()
+            return ok_response(req.id, self.registry.report(beta=self.beta))
+        if req.op == "capacity":
+            return await self._capacity(req)
+        if req.op == "stats":
+            return await self._stats(req)
+        if req.op == "shutdown":
+            self.request_shutdown()
+            return ok_response(req.id, {"draining": True})
+        if self._draining:
+            return error_response(
+                req.id, status=503, code="draining", message="router is draining"
+            )
+        return await self._forward(req, raw)
+
+    # ------------------------------------------------------------------ #
+    # tenant registry ops
+    # ------------------------------------------------------------------ #
+
+    async def _register_tenant(self, req: Request) -> dict[str, Any]:
+        assert req.tenant is not None  # parse_request enforces it
+        await self.refresh_beta()
+        tenant = self.registry.register(
+            req.tenant,
+            req.options["rate"],
+            req.options["burst"],
+            slo_s=req.options.get("slo_s"),
+        )
+        doc = tenant.to_dict()
+        if self.beta is not None:
+            bound = self.registry.tenant_delay_bound(tenant.name, self.beta)
+            doc["delay_bound_s"] = None if math.isinf(bound) else bound
+            agg = self.registry.aggregate_delay_bound(self.beta)
+            doc["aggregate_delay_bound_s"] = None if math.isinf(agg) else agg
+            doc["stable"] = not math.isinf(agg)
+        return ok_response(req.id, doc)
+
+    # ------------------------------------------------------------------ #
+    # rolled-up introspection
+    # ------------------------------------------------------------------ #
+
+    async def _capacity(self, req: Request) -> dict[str, Any]:
+        reports = await self._fan_out("capacity")
+        await self.refresh_beta()
+        shards = {
+            name: (doc.get("result") if isinstance(doc, dict) else None)
+            for name, doc in reports.items()
+        }
+        for name in self.down:
+            shards.setdefault(name, None)
+        return ok_response(req.id, {
+            "role": "router",
+            "cluster_service_curve": self.beta_info,
+            "shards": shards,
+            "down": sorted(self.down),
+            "tenants": self.registry.report(beta=self.beta),
+        })
+
+    async def _stats(self, req: Request) -> dict[str, Any]:
+        reports = await self._fan_out("stats")
+        shards = {
+            name: (doc.get("result") if isinstance(doc, dict) else None)
+            for name, doc in reports.items()
+        }
+        for name in self.down:
+            shards.setdefault(name, None)
+        return ok_response(req.id, {
+            "role": "router",
+            "router": self.metrics.snapshot(),
+            "shards": shards,
+            "down": sorted(self.down),
+            "inflight": self._inflight,
+        })
+
+    # ------------------------------------------------------------------ #
+    # the forwarding path
+    # ------------------------------------------------------------------ #
+
+    async def _forward(self, req: Request, raw: bytes) -> dict[str, Any]:
+        t0 = time.perf_counter()
+        if req.tenant is not None:
+            self.metrics.counter(f"cluster.tenant.{req.tenant}.requests").inc()
+        admitted, code, retry_after = self.registry.admit(req.tenant, beta=self.beta)
+        if not admitted:
+            self.metrics.counter("cluster.rejected").inc()
+            if req.tenant is not None:
+                self.metrics.counter(f"cluster.tenant.{req.tenant}.rejected").inc()
+            bound = None
+            if req.tenant is not None and self.beta is not None \
+                    and self.registry.get(req.tenant) is not None:
+                b = self.registry.tenant_delay_bound(req.tenant, self.beta)
+                bound = None if math.isinf(b) else b
+            return error_response(
+                req.id, status=429, code=code or "rejected",
+                message="tenant admission rejected the request "
+                "(offered load exceeds the declared alpha or the tenant SLO)",
+                retry_after_s=retry_after,
+                tenant=req.tenant,
+                delay_bound_s=bound,
+            )
+        # the routing digest IS the cache key: affinity and caching agree
+        digest = point_key(req.model or {}, req.params, req.options)
+        attempts = 0
+        for name in self.ring.preference(digest):
+            if name in self.down:
+                continue
+            attempts += 1
+            self.metrics.counter(f"cluster.shard.{name}.requests").inc()
+            try:
+                doc = await asyncio.wait_for(
+                    self.links[name].exchange(raw), self.config.forward_timeout_s
+                )
+            except ShardDown:
+                self._mark_down(name)
+                self.metrics.counter("cluster.failover").inc()
+                continue
+            except asyncio.TimeoutError:
+                return error_response(
+                    req.id, status=408, code="timeout",
+                    message=f"shard {name!r} did not answer within "
+                    f"{self.config.forward_timeout_s} s",
+                )
+            if doc.get("ok") and isinstance(doc.get("result"), dict):
+                doc["result"]["shard"] = name
+                if attempts > 1:
+                    doc["result"]["failover"] = True
+            elapsed = time.perf_counter() - t0
+            self.metrics.histogram("cluster.latency_s").observe(elapsed)
+            if req.tenant is not None:
+                self.metrics.histogram(
+                    f"cluster.tenant.{req.tenant}.latency_s"
+                ).observe(elapsed)
+                if doc.get("ok"):
+                    self.metrics.counter(f"cluster.tenant.{req.tenant}.responses").inc()
+            return doc
+        return error_response(
+            req.id, status=503, code="no_shards",
+            message="no live shard can serve the request "
+            f"({len(self.down)}/{len(self.links)} shards down)",
+        )

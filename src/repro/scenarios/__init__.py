@@ -23,6 +23,7 @@ from .families import (
     adversarial_scenarios,
     catalog,
     classic_scenarios,
+    multiflow_scenarios,
     quick_catalog,
     randomized_scenarios,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "classic_scenarios",
     "randomized_scenarios",
     "adversarial_scenarios",
+    "multiflow_scenarios",
     "catalog",
     "quick_catalog",
     "Check",

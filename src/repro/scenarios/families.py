@@ -31,7 +31,17 @@ Families
     chain (every stage pays collection latency), an ``l_max``-dominated
     packetized stage, heavy-tailed parameter draws (bounded Pareto job
     sizes, lognormal rates), and a compression/expansion job-ratio
-    chain exercising input-referred normalization.
+    chain exercising input-referred normalization;
+``multiflow``
+    multi-tenant residual service (the cluster tier's admission math):
+    k leaky-bucket tenants share one rate-latency server; a scenario
+    models one tenant's view as a single stage with the *blind
+    residual* service curve ``[beta - sum_j alpha_j]^+`` (rate
+    ``R - sum R_j``, latency ``(T R + sum b_j)/(R - sum R_j)``), or the
+    aggregate view ``sum_i alpha_i`` through the full beta — and the
+    expectations are computed through :mod:`repro.nc.multiflow` curve
+    algebra, a code path the streaming normalization layer never
+    touches.
 """
 
 from __future__ import annotations
@@ -40,6 +50,9 @@ import math
 from typing import Any
 
 from ..des.distributions import bounded_pareto, lognormal, spawn_rngs
+from ..nc.bounds import backlog_bound, delay_bound
+from ..nc.builders import leaky_bucket, rate_latency
+from ..nc.multiflow import aggregate_arrival, blind_residual
 from ..units import KiB, MiB
 from .spec import Expectations, ScenarioSpec
 
@@ -47,6 +60,7 @@ __all__ = [
     "classic_scenarios",
     "randomized_scenarios",
     "adversarial_scenarios",
+    "multiflow_scenarios",
     "catalog",
     "quick_catalog",
 ]
@@ -553,9 +567,137 @@ def adversarial_scenarios(base_seed: int = 13_2024) -> list[ScenarioSpec]:
 # --------------------------------------------------------------------- #
 
 
+# --------------------------------------------------------------------- #
+# multiflow family (multi-tenant residual service)
+# --------------------------------------------------------------------- #
+
+
+def _residual_view(
+    name: str,
+    description: str,
+    *,
+    server_rate: float,
+    server_latency: float,
+    tenant_rate: float,
+    tenant_burst: float,
+    cross: "list[tuple[float, float]]",
+    job: float,
+    workload: float,
+) -> ScenarioSpec:
+    """One tenant's view of a shared server: a blind-residual stage.
+
+    The pipeline document declares the residual server with the
+    hand-derived affine parameters ``R_res = R - sum R_j`` and
+    ``T_res = (T R + sum b_j) / R_res``; the *expectations* are
+    recomputed through :mod:`repro.nc.multiflow` curve algebra
+    (``delay_bound(alpha_i, [beta - sum alpha_j]^+)``), so the
+    streaming affine recursion and the min-plus residual construction
+    must land on the same numbers.
+    """
+    beta = rate_latency(server_rate, server_latency)
+    alpha_cross = aggregate_arrival(
+        *(leaky_bucket(r, b) for r, b in cross)
+    )
+    residual = blind_residual(beta, alpha_cross)
+    alpha = leaky_bucket(tenant_rate, tenant_burst)
+    cross_rate = sum(r for r, _ in cross)
+    cross_burst = sum(b for _, b in cross)
+    r_res = server_rate - cross_rate
+    t_res = (server_latency * server_rate + cross_burst) / r_res
+    return ScenarioSpec(
+        name=name,
+        family="multiflow",
+        description=description,
+        pipeline=_doc(name, tenant_rate,
+                      [_stage("residual", r_res, latency=t_res, job=job)],
+                      burst=tenant_burst),
+        workload=workload,
+        expect=Expectations(
+            stable=True, conformance=True,
+            total_latency=t_res,                  # tenant_burst >= job
+            effective_burst=tenant_burst,
+            delay_bound=delay_bound(alpha, residual),
+            backlog_bound=backlog_bound(alpha, residual),
+            throughput_lower_bound=tenant_rate,
+        ),
+    )
+
+
+def multiflow_scenarios() -> list[ScenarioSpec]:
+    """Multi-tenant residual-service scenarios (the cluster admission math)."""
+    out: list[ScenarioSpec] = []
+
+    # -- two equal tenants sharing one server ----------------------------
+    out.append(_residual_view(
+        "multiflow-2tenants-blind",
+        "two equal leaky-bucket tenants share beta; tenant 0's blind "
+        "residual is rate R-R_1, latency (T R + b_1)/(R-R_1)",
+        server_rate=300 * MiB, server_latency=1e-3,
+        tenant_rate=60 * MiB, tenant_burst=1 * MiB,
+        cross=[(60 * MiB, 1 * MiB)],
+        job=64 * KiB, workload=8 * MiB,
+    ))
+
+    # -- four heterogeneous tenants, smallest tenant's view --------------
+    out.append(_residual_view(
+        "multiflow-4tenants-blind",
+        "four heterogeneous tenants; the 40 MiB/s tenant sees the other "
+        "three (150 MiB/s, 2.25 MiB burst) as cross traffic",
+        server_rate=300 * MiB, server_latency=1e-3,
+        tenant_rate=40 * MiB, tenant_burst=512 * KiB,
+        cross=[(60 * MiB, 1 * MiB), (50 * MiB, 768 * KiB), (40 * MiB, 512 * KiB)],
+        job=64 * KiB, workload=8 * MiB,
+    ))
+
+    # -- the aggregate view: sum alpha_i through the full beta ------------
+    tenants = [(60 * MiB, 1 * MiB), (50 * MiB, 768 * KiB),
+               (40 * MiB, 512 * KiB), (40 * MiB, 512 * KiB)]
+    server_rate, server_latency = 300 * MiB, 1e-3
+    beta = rate_latency(server_rate, server_latency)
+    aggregate = aggregate_arrival(*(leaky_bucket(r, b) for r, b in tenants))
+    agg_rate = sum(r for r, _ in tenants)
+    agg_burst = sum(b for _, b in tenants)
+    job = 64 * KiB
+    out.append(ScenarioSpec(
+        name="multiflow-aggregate",
+        family="multiflow",
+        description="the paper's aggregation: sum of four tenant alphas "
+        "through the full beta; d = T + (sum b_i)/R",
+        pipeline=_doc("multiflow-aggregate", agg_rate,
+                      [_stage("server", server_rate, latency=server_latency,
+                              job=job)],
+                      burst=agg_burst),
+        workload=8 * MiB,
+        expect=Expectations(
+            stable=True, conformance=True,
+            total_latency=server_latency,         # agg_burst >= job
+            effective_burst=agg_burst,
+            delay_bound=delay_bound(aggregate, beta),
+            backlog_bound=backlog_bound(aggregate, beta),
+            throughput_lower_bound=agg_rate,
+        ),
+    ))
+
+    # -- heavy cross traffic: the residual is thin but still stable -------
+    out.append(_residual_view(
+        "multiflow-heavy-cross",
+        "cross tenants claim 220 of 300 MiB/s and 4 MiB of burst; the "
+        "30 MiB/s tenant's residual rate is 80 MiB/s with ~54 ms latency",
+        server_rate=300 * MiB, server_latency=1e-3,
+        tenant_rate=30 * MiB, tenant_burst=256 * KiB,
+        cross=[(120 * MiB, 2 * MiB), (100 * MiB, 2 * MiB)],
+        job=64 * KiB, workload=8 * MiB,
+    ))
+
+    return out
+
+
 def catalog() -> list[ScenarioSpec]:
     """The full built-in catalog (deterministic order and content)."""
-    specs = classic_scenarios() + randomized_scenarios() + adversarial_scenarios()
+    specs = (
+        classic_scenarios() + randomized_scenarios() + adversarial_scenarios()
+        + multiflow_scenarios()
+    )
     names = [s.name for s in specs]
     if len(set(names)) != len(names):  # pragma: no cover - generator bug guard
         raise RuntimeError(f"duplicate scenario names in catalog: {names}")
@@ -566,7 +708,8 @@ def quick_catalog(per_family: int = 3) -> list[ScenarioSpec]:
     """A small deterministic subset (CI smoke): first N of each family."""
     out: list[ScenarioSpec] = []
     for family_specs in (
-        classic_scenarios(), randomized_scenarios(), adversarial_scenarios()
+        classic_scenarios(), randomized_scenarios(), adversarial_scenarios(),
+        multiflow_scenarios(),
     ):
         out.extend(family_specs[:per_family])
     return out

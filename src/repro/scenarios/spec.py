@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 #: the catalog's generator families plus user-authored scenarios
-FAMILIES = ("classic", "randomized", "adversarial", "custom")
+FAMILIES = ("classic", "randomized", "adversarial", "multiflow", "custom")
 DATA_SCENARIOS = ("worst", "avg", "best")
 
 

@@ -23,8 +23,10 @@ requested over the wire, and vice versa.
 
 from .admission import AdmissionController, SelfModel, TokenBucket
 from .batching import Coalescer, evaluate_batch, recommended_window
-from .client import ServeClient, ServeClosedError
+from .client import ServeClient, ServeClosedError, ServeConnectError
+from .engine import AnalysisEngine
 from .protocol import (
+    CLUSTER_OPS,
     MAX_LINE_BYTES,
     OPS,
     PROTOCOL_VERSION,
@@ -35,6 +37,7 @@ from .protocol import (
     ok_response,
     parse_request,
     parse_response,
+    tenant_options,
 )
 from .server import AnalysisServer, ServeConfig, ServerThread, run
 
@@ -47,6 +50,9 @@ __all__ = [
     "recommended_window",
     "ServeClient",
     "ServeClosedError",
+    "ServeConnectError",
+    "AnalysisEngine",
+    "CLUSTER_OPS",
     "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
@@ -57,6 +63,7 @@ __all__ = [
     "ok_response",
     "parse_request",
     "parse_response",
+    "tenant_options",
     "AnalysisServer",
     "ServeConfig",
     "ServerThread",

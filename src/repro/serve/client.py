@@ -2,31 +2,51 @@
 
 The protocol is a line of JSON each way, so the client is a thin
 convenience layer: connect, frame, correlate ids, decode.  It is what
-``repro request`` uses, what the benchmarks drive load with, and the
-reference for writing clients in other languages.
+``repro request`` and ``repro cluster request`` use, what the
+benchmarks drive load with, and the reference for writing clients in
+other languages.
 
     with ServeClient(port=7421) as c:
         c.ping()
         resp = c.analyze(model_doc, params={"scale:network": 2.0})
         resp["result"]["nc"]["delay_bound"]
+
+Connection behavior: a server (or cluster router/shard) that is *still
+binding* — the common race right after ``repro serve``/``repro cluster
+start`` — refuses connections for a moment; :meth:`ServeClient.connect`
+therefore retries with exponential backoff for a bounded window and
+raises :class:`ServeConnectError` (a ``ConnectionError`` naming the
+endpoint, the attempt count, and the window) when the endpoint never
+comes up, instead of leaking a raw ``ConnectionRefusedError`` from
+whichever attempt failed last.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Mapping
 
 from .protocol import PROTOCOL_VERSION, encode, parse_response
 
-__all__ = ["ServeClient", "ServeClosedError"]
+__all__ = ["ServeClient", "ServeClosedError", "ServeConnectError"]
+
+#: response statuses that :meth:`ServeClient.request` may retry on —
+#: admission rejection (the server names a retry_after_s) and transient
+#: unavailability (draining server, router with a shard mid-failover)
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServeClosedError(ConnectionError):
     """The server closed the connection before answering."""
 
 
+class ServeConnectError(ConnectionError):
+    """No server accepted a connection within the retry window."""
+
+
 class ServeClient:
-    """One connection to a running analysis server."""
+    """One connection to a running analysis server or cluster router."""
 
     def __init__(
         self,
@@ -34,10 +54,16 @@ class ServeClient:
         port: int = 7421,
         *,
         timeout: float = 60.0,
+        connect_retries: int = 0,
+        connect_backoff_s: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: extra connect attempts after the first (0 = fail fast)
+        self.connect_retries = int(connect_retries)
+        #: initial backoff between attempts; doubles per retry, capped at 1 s
+        self.connect_backoff_s = float(connect_backoff_s)
         self._sock: "socket.socket | None" = None
         self._file: Any = None
         self._next_id = 0
@@ -47,12 +73,36 @@ class ServeClient:
     # ------------------------------------------------------------------ #
 
     def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        attempts = 1 + max(0, self.connect_retries)
+        backoff = max(0.0, self.connect_backoff_s)
+        t0 = time.monotonic()
+        last: "Exception | None" = None
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), self.timeout
+                )
+                break
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                self._sock = None
+                if attempt + 1 < attempts:
+                    time.sleep(backoff)
+                    backoff = min(1.0, backoff * 2 if backoff > 0 else 0.05)
         if self._sock is None:
-            self._sock = socket.create_connection((self.host, self.port), self.timeout)
-            # one small frame per request: Nagle + delayed ACK would add
-            # a ~10 ms floor to every round trip
-            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._file = self._sock.makefile("rwb")
+            waited = time.monotonic() - t0
+            raise ServeConnectError(
+                f"no analysis server accepted a connection at "
+                f"{self.host}:{self.port} after {attempts} attempt(s) over "
+                f"{waited:.2f} s ({type(last).__name__}: {last}); is the "
+                "server/router running (or still binding)?"
+            ) from last
+        # one small frame per request: Nagle + delayed ACK would add
+        # a ~10 ms floor to every round trip
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
         return self
 
     def close(self) -> None:
@@ -86,9 +136,19 @@ class ServeClient:
         model: "Mapping[str, Any] | None" = None,
         params: "Mapping[str, Any] | None" = None,
         options: "Mapping[str, Any] | None" = None,
+        tenant: "str | None" = None,
         id: "str | int | None" = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> dict[str, Any]:
-        """Send one request and block for its response document."""
+        """Send one request and block for its response document.
+
+        ``retries > 0`` makes the client router-aware: a 429 (admission
+        rejected) or 503 (draining / shard failing over) response is
+        retried up to ``retries`` times, honoring the server's
+        ``retry_after_s`` hint when present and an exponential backoff
+        otherwise.  The final response — success or not — is returned.
+        """
         self.connect()
         if id is None:
             self._next_id += 1
@@ -100,7 +160,24 @@ class ServeClient:
             doc["params"] = dict(params)
         if options:
             doc["options"] = dict(options)
-        self._file.write(encode(doc))
+        if tenant is not None:
+            doc["tenant"] = tenant
+        frame = encode(doc)
+        backoff = max(0.0, retry_backoff_s)
+        for attempt in range(1 + max(0, retries)):
+            response = self._exchange(frame)
+            if response.get("ok") or response.get("status") not in RETRYABLE_STATUSES:
+                return response
+            if attempt >= retries:
+                return response
+            hint = (response.get("error") or {}).get("retry_after_s")
+            delay = float(hint) if hint else backoff
+            time.sleep(min(2.0, max(0.0, delay)))
+            backoff = min(1.0, backoff * 2 if backoff > 0 else 0.05)
+        return response
+
+    def _exchange(self, frame: bytes) -> dict[str, Any]:
+        self._file.write(frame)
         self._file.flush()
         line = self._file.readline()
         if not line:
@@ -124,26 +201,62 @@ class ServeClient:
         """Ask the server to drain and exit (answered before it does)."""
         return self.request("shutdown")
 
+    def register_tenant(
+        self,
+        tenant: str,
+        rate: float,
+        burst: float,
+        *,
+        slo_ms: "float | None" = None,
+    ) -> dict[str, Any]:
+        """Declare a tenant's leaky bucket alpha(t) = rate*t + burst (router op)."""
+        options: dict[str, Any] = {"rate": rate, "burst": burst}
+        if slo_ms is not None:
+            options["slo_ms"] = slo_ms
+        return self.request("register_tenant", tenant=tenant, options=options)
+
+    def tenants(self) -> dict[str, Any]:
+        """The router's tenant registry report (router op)."""
+        return self.request("tenants")
+
     def analyze(
         self,
         model: Mapping[str, Any],
         params: "Mapping[str, Any] | None" = None,
+        *,
+        tenant: "str | None" = None,
+        retries: int = 0,
         **options: Any,
     ) -> dict[str, Any]:
-        return self.request("analyze", model=model, params=params, options=options)
+        return self.request(
+            "analyze", model=model, params=params, options=options,
+            tenant=tenant, retries=retries,
+        )
 
     def simulate(
         self,
         model: Mapping[str, Any],
         params: "Mapping[str, Any] | None" = None,
+        *,
+        tenant: "str | None" = None,
+        retries: int = 0,
         **options: Any,
     ) -> dict[str, Any]:
-        return self.request("simulate", model=model, params=params, options=options)
+        return self.request(
+            "simulate", model=model, params=params, options=options,
+            tenant=tenant, retries=retries,
+        )
 
     def sweep_point(
         self,
         model: Mapping[str, Any],
         params: "Mapping[str, Any] | None" = None,
+        *,
+        tenant: "str | None" = None,
+        retries: int = 0,
         **options: Any,
     ) -> dict[str, Any]:
-        return self.request("sweep_point", model=model, params=params, options=options)
+        return self.request(
+            "sweep_point", model=model, params=params, options=options,
+            tenant=tenant, retries=retries,
+        )

@@ -1,0 +1,331 @@
+"""The evaluation engine behind one analysis shard.
+
+Extracted from :mod:`repro.serve.server` so that a shard is an
+*embeddable object*: anything that owns an asyncio loop can host an
+engine — the TCP listener in :class:`~repro.serve.server.AnalysisServer`,
+a cluster shard process (:mod:`repro.cluster.shards`), or a test —
+without touching process-global state.  The engine installs no signal
+handlers, prints nothing, and keeps no module-level mutable state; one
+engine owns exactly one worker pool, one result cache, one NC
+self-model, and one coalescer.
+
+The split is listener/engine: the server parses frames and manages
+connections; the engine is everything behind the frame — admission,
+cache lookup, coalescing, pool dispatch, and the ``/capacity`` and
+``/stats`` introspection bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..nc.kernel import memo_stats as kernel_memo_stats
+from ..nc.kernel import publish_metrics as publish_kernel_metrics
+from ..nc.kernel import worker_init as kernel_worker_init
+from ..telemetry.metrics import MetricsRegistry
+from ..sweep.cache import ResultCache, point_key
+from ..sweep.runner import point_seed
+from .admission import AdmissionController, SelfModel, TokenBucket
+from .batching import Coalescer, evaluate_batch
+from .protocol import Request, error_response, ok_response
+
+__all__ = ["ServeConfig", "AnalysisEngine"]
+
+
+def _default_workers() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass
+class ServeConfig:
+    """Everything the operator can turn — all times in seconds."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the actual port is printed/returned
+    workers: "int | None" = None
+    slo_s: "float | None" = None  # delay SLO for admitted requests
+    rate: "float | None" = None  # admission: sustained requests/s (alpha rate R)
+    burst: "float | None" = None  # admission: bucket capacity (alpha burst b)
+    batch_window_s: float = 0.0  # 0 = coalescing off
+    max_batch: int = 16
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    cache_dir: "str | None" = None
+    calibrate: int = 6  # calibration evaluations at startup (0 = skip)
+    name: str = "serve"  # shard name (cluster shards get shard-0, shard-1, ...)
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers is not None else _default_workers()
+
+
+def _calibration_model() -> dict[str, Any]:
+    """The reference request used to measure per-request service time.
+
+    The BLAST case study's analyze is the canonical serving workload;
+    its cost is representative of any measured pipeline of similar
+    depth.
+    """
+    from ..apps.blast import blast_pipeline
+    from ..streaming import pipeline_to_dict
+
+    return pipeline_to_dict(blast_pipeline())
+
+
+class AnalysisEngine:
+    """One shard's evaluation machinery: pool, cache, self-model, admission.
+
+    Host contract: call :meth:`start` from the owning loop before the
+    first :meth:`evaluate`; call :meth:`aclose` (after waiting out
+    :attr:`idle` if a lossless drain is wanted) when done.  Everything
+    in between is loop-confined — the engine is not thread-safe, by
+    design: one engine per loop, like one shard per loop.
+    """
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self.model = SelfModel(self.config.resolved_workers())
+        self.admission: "AdmissionController | None" = None
+        self.coalescer = Coalescer(
+            self._pool_dispatch,
+            window_s=self.config.batch_window_s,
+            max_batch=self.config.max_batch,
+        )
+        self.executor: "ProcessPoolExecutor | None" = None
+        self._inflight = 0
+        self.idle = asyncio.Event()
+        self.idle.set()
+        self.draining = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Create the pool, calibrate, build the admission controller."""
+        cfg = self.config
+        # each worker keeps one curve-algebra kernel memo for its whole
+        # lifetime: repeated /analyze requests over the same pipelines
+        # become kernel memo hits instead of fresh min-plus algebra
+        self.executor = ProcessPoolExecutor(
+            max_workers=cfg.resolved_workers(), initializer=kernel_worker_init
+        )
+        if cfg.calibrate > 0:
+            await self._calibrate(cfg.calibrate)
+        self._build_admission()
+
+    async def _calibrate(self, n: int) -> None:
+        """Prime worker imports and the NC self-model with measured times.
+
+        First a parallel warm-up (one task per worker, so every process
+        pays its NumPy import before traffic arrives), then ``n``
+        sequential timed evaluations: in-worker compute time feeds the
+        service-curve rate, and the best-case (submit - compute) gap
+        estimates the dispatch latency ``T``.
+        """
+        model = _calibration_model()
+        options = {"simulate": False, "packetized": False, "workload": None, "base_seed": 42}
+        loop = asyncio.get_running_loop()
+        warmups = [
+            loop.run_in_executor(self.executor, evaluate_batch, model, [{}], options, [i])
+            for i in range(self.model.workers)
+        ]
+        await asyncio.gather(*warmups)
+        dispatch_gaps = []
+        for i in range(n):
+            t0 = time.perf_counter()
+            out = await loop.run_in_executor(
+                self.executor, evaluate_batch, model, [{}], options, [i]
+            )
+            wall = time.perf_counter() - t0
+            compute = float(out[0].get("elapsed", 0.0))
+            self.model.observe(compute)
+            dispatch_gaps.append(max(0.0, wall - compute))
+        # the smallest observed gap is the irreducible hand-off cost;
+        # the coalescing window is part of dispatch by construction
+        self.model.dispatch_latency = min(dispatch_gaps) + self.config.batch_window_s
+
+    def _build_admission(self) -> None:
+        cfg = self.config
+        if cfg.rate is not None:
+            bucket = TokenBucket(cfg.rate, cfg.burst if cfg.burst is not None else max(1.0, cfg.rate))
+            self.admission = AdmissionController(bucket, self.model, slo_s=cfg.slo_s)
+        elif cfg.slo_s is not None:
+            if not self.model.calibrated:
+                raise ValueError(
+                    "--slo without --rate needs calibration (calibrate > 0) to "
+                    "derive the admission envelope from the measured service curve"
+                )
+            self.admission = AdmissionController.for_slo(self.model, cfg.slo_s)
+        else:
+            self.admission = None  # open door: no envelope configured
+
+    async def aclose(self, *, drain_timeout_s: "float | None" = None) -> int:
+        """Flush forming batches, wait for in-flight work, stop the pool.
+
+        Returns the number of admitted requests that could not be
+        answered (0 on a lossless close).
+        """
+        self.draining = True
+        await self.coalescer.flush()
+        timeout = (
+            drain_timeout_s if drain_timeout_s is not None
+            else self.config.drain_timeout_s
+        )
+        dropped = 0
+        try:
+            await asyncio.wait_for(self.idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            dropped = self._inflight
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    async def _pool_dispatch(
+        self,
+        model: Mapping[str, Any],
+        params_list: Sequence[Mapping[str, Any]],
+        options: Mapping[str, Any],
+        seeds: Sequence[int],
+    ) -> Sequence[dict[str, Any]]:
+        """Ship one (possibly coalesced) batch to a worker process."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.executor,
+            evaluate_batch,
+            dict(model),
+            [dict(p) for p in params_list],
+            dict(options),
+            list(seeds),
+        )
+
+    def begin(self) -> None:
+        """Track one in-flight request (drain waits for the count to hit 0)."""
+        self._inflight += 1
+        self.idle.clear()
+
+    def end(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self.idle.set()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def evaluate(self, req: Request) -> dict[str, Any]:
+        """Admission -> cache -> coalesced pool dispatch for one request."""
+        if self.draining:
+            return error_response(
+                req.id, status=503, code="draining", message="server is draining"
+            )
+        if req.tenant is not None:
+            self.metrics.counter(f"serve.tenant.{req.tenant}.requests").inc()
+        if self.admission is not None:
+            admitted, code, retry_after = self.admission.admit()
+            if not admitted:
+                self.metrics.counter("serve.rejected").inc()
+                if req.tenant is not None:
+                    self.metrics.counter(f"serve.tenant.{req.tenant}.rejected").inc()
+                return error_response(
+                    req.id,
+                    status=429,
+                    code=code or "rejected",
+                    message="admission control rejected the request "
+                    "(offered load exceeds the alpha envelope or the SLO)",
+                    retry_after_s=retry_after,
+                )
+        t0 = time.perf_counter()
+        key = point_key(req.model or {}, req.params, req.options)
+        out: "dict[str, Any] | None" = None
+        cached = False
+        if self.cache is not None:
+            out = self.cache.get(key)
+            cached = out is not None
+            self.metrics.counter(
+                "serve.cache.hits" if cached else "serve.cache.misses"
+            ).inc()
+        if out is None:
+            # same derivation as the sweep runner, so one cache key maps
+            # to one result no matter which subsystem computed it first
+            seed = point_seed(int(req.options.get("base_seed", 42)), req.params)
+            try:
+                out = await asyncio.wait_for(
+                    self.coalescer.submit(req.model or {}, req.params, req.options, seed),
+                    self.config.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                return error_response(
+                    req.id,
+                    status=408,
+                    code="timeout",
+                    message=f"evaluation exceeded {self.config.request_timeout_s} s "
+                    "(the worker task keeps running; retry may hit the cache)",
+                )
+            if "error" not in out and self.cache is not None:
+                self.cache.put(key, out)
+        if "error" in out:
+            return error_response(
+                req.id, status=422, code="evaluation_error", message=str(out["error"])
+            )
+        if not cached:
+            self.model.observe(float(out.get("elapsed", 0.0)))
+            self.metrics.histogram("serve.service_s").observe(
+                float(out.get("elapsed", 0.0))
+            )
+        self.metrics.histogram("serve.latency_s").observe(time.perf_counter() - t0)
+        if req.tenant is not None:
+            self.metrics.counter(f"serve.tenant.{req.tenant}.responses").inc()
+        return ok_response(req.id, {"key": key, "cached": cached, **out})
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def capacity(self) -> dict[str, Any]:
+        """The shard's NC self-model (the ``/capacity`` response body)."""
+        if self.admission is not None:
+            report = self.admission.capacity_report()
+        else:
+            report = {
+                "arrival_curve": None,  # no envelope configured: open admission
+                "service_curve": {"kind": "rate_latency", **self.model.to_dict()},
+                "delay_bound_s": None,
+                "slo_s": None,
+                "slo_ok": True,
+                "admitted": None,
+                "rejected_rate": 0,
+                "rejected_slo": 0,
+            }
+        report["name"] = self.config.name
+        report["inflight"] = self._inflight
+        report["batch_window_s"] = self.config.batch_window_s
+        report["draining"] = self.draining
+        # the serving process runs its own NC algebra for admission
+        # control; expose that kernel's memo health alongside the model
+        report["kernel_memo"] = kernel_memo_stats()
+        return report
+
+    def stats(self) -> dict[str, Any]:
+        """Counters, latency histograms, cache and batching effectiveness."""
+        publish_kernel_metrics(self.metrics)
+        return {
+            "name": self.config.name,
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "batching": self.coalescer.stats(),
+            "kernel_memo": kernel_memo_stats(),
+            "inflight": self._inflight,
+        }

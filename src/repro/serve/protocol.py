@@ -32,11 +32,20 @@ Validation is strict and reuses :mod:`repro._validation`: unknown keys,
 wrong types, and non-finite numbers are rejected with a 400 before any
 work is scheduled — a malformed request must never reach the worker
 pool.
+
+Multi-tenancy (the cluster tier): every request may carry a ``tenant``
+identity string.  A single server treats it as routing metadata (it
+shows up in per-tenant counters); the cluster router additionally runs
+per-tenant leaky-bucket admission against it.  The tenant-registry ops
+``register_tenant`` (options ``rate``/``burst``/``slo_ms``) and
+``tenants`` are answered only by the router — a plain shard returns 501
+``cluster_only`` for them.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -48,10 +57,12 @@ __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
     "EVAL_OPS",
+    "CLUSTER_OPS",
     "ProtocolError",
     "Request",
     "parse_request",
     "evaluation_options",
+    "tenant_options",
     "encode",
     "ok_response",
     "error_response",
@@ -68,11 +79,16 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: ops that evaluate a pipeline model on the worker pool
 EVAL_OPS = ("analyze", "simulate", "sweep_point")
 
-#: every operation the server understands
-OPS = ("ping", "capacity", "stats", "shutdown") + EVAL_OPS
+#: ops answered only by the cluster router (tenant registry)
+CLUSTER_OPS = ("register_tenant", "tenants")
 
-_REQUEST_KEYS = {"v", "id", "op", "model", "params", "options"}
+#: every operation the server understands
+OPS = ("ping", "capacity", "stats", "shutdown") + CLUSTER_OPS + EVAL_OPS
+
+_REQUEST_KEYS = {"v", "id", "op", "model", "params", "options", "tenant"}
 _OPTION_KEYS = {"packetized", "workload_mib", "seed", "simulate"}
+_TENANT_OPTION_KEYS = {"rate", "burst", "slo_ms"}
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 class ProtocolError(ValueError):
@@ -93,6 +109,7 @@ class Request:
     model: "dict[str, Any] | None" = None
     params: dict[str, Any] = field(default_factory=dict)
     options: dict[str, Any] = field(default_factory=dict)
+    tenant: "str | None" = None
 
 
 def _check_params(params: Any) -> dict[str, Any]:
@@ -156,6 +173,58 @@ def evaluation_options(raw: Mapping[str, Any], *, op: str) -> dict[str, Any]:
     }
 
 
+def _check_tenant(value: Any) -> "str | None":
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ProtocolError(f"'tenant' must be a string, got {type(value).__name__}")
+    if not _TENANT_RE.match(value):
+        raise ProtocolError(
+            f"'tenant' {value!r} is invalid (1-64 chars of [A-Za-z0-9._-], "
+            "starting alphanumeric)"
+        )
+    return value
+
+
+def tenant_options(raw: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate ``register_tenant`` options into ``{rate, burst, slo_s}``.
+
+    The tenant's declared leaky bucket: sustained ``rate`` requests/s
+    and ``burst`` requests (both required, positive, finite), plus an
+    optional per-tenant delay SLO in milliseconds.
+    """
+    unknown = set(raw) - _TENANT_OPTION_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown option(s) {sorted(unknown)}")
+    out: dict[str, Any] = {}
+    for key in ("rate", "burst"):
+        if key not in raw:
+            raise ProtocolError(f"op 'register_tenant' requires option {key!r}")
+        value = raw[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(f"option {key!r} must be a number")
+        try:
+            check_finite(key, value)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        if value <= 0:
+            raise ProtocolError(f"option {key!r} must be > 0, got {value}")
+        out[key] = float(value)
+    out["slo_s"] = None
+    if raw.get("slo_ms") is not None:
+        slo = raw["slo_ms"]
+        if isinstance(slo, bool) or not isinstance(slo, (int, float)):
+            raise ProtocolError("option 'slo_ms' must be a number")
+        try:
+            check_finite("slo_ms", slo)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        if slo <= 0:
+            raise ProtocolError(f"option 'slo_ms' must be > 0, got {slo}")
+        out["slo_s"] = float(slo) / 1e3
+    return out
+
+
 def parse_request(line: "str | bytes") -> Request:
     """Parse and strictly validate one request line.
 
@@ -199,15 +268,24 @@ def parse_request(line: "str | bytes") -> Request:
     raw_options = doc.get("options", {})
     if not isinstance(raw_options, dict):
         raise ProtocolError("'options' must be an object")
+    tenant = _check_tenant(doc.get("tenant"))
     if op in EVAL_OPS:
         if not isinstance(model, dict):
             raise ProtocolError(f"op {op!r} requires a 'model' object")
         options = evaluation_options(raw_options, op=op)
+    elif op == "register_tenant":
+        if model is not None or params:
+            raise ProtocolError("op 'register_tenant' takes no model/params")
+        if tenant is None:
+            raise ProtocolError("op 'register_tenant' requires a 'tenant' identity")
+        options = tenant_options(raw_options)
     else:
         if model is not None or params or raw_options:
             raise ProtocolError(f"op {op!r} takes no model/params/options")
         options = {}
-    return Request(op=op, id=req_id, model=model, params=params, options=options)
+    return Request(
+        op=op, id=req_id, model=model, params=params, options=options, tenant=tenant
+    )
 
 
 def encode(doc: Mapping[str, Any]) -> bytes:

@@ -1,17 +1,25 @@
-"""The asyncio analysis server: connections, workers, drain, telemetry.
+"""The asyncio analysis server: connections, drain, signal plumbing.
 
 Architecture (stdlib only)::
 
     TCP clients --(NDJSON)--> asyncio event loop
         -> strict protocol validation          (repro.serve.protocol)
-        -> admission control                   (repro.serve.admission)
-        -> content-addressed cache lookup      (repro.sweep.cache)
-        -> coalescing window                   (repro.serve.batching)
-        -> ProcessPoolExecutor                 (repro.sweep.runner.evaluate_point)
+        -> one AnalysisEngine                  (repro.serve.engine)
+            -> admission control               (repro.serve.admission)
+            -> content-addressed cache lookup  (repro.sweep.cache)
+            -> coalescing window               (repro.serve.batching)
+            -> ProcessPoolExecutor             (repro.sweep.runner.evaluate_point)
 
     CPU-bound NC math and DES runs execute on worker *processes*, so
     the event loop only ever parses lines, checks tokens, and reads
     small cache files — it never blocks on a curve convolution.
+
+The server is a thin shell over :class:`~repro.serve.engine.
+AnalysisEngine`: it owns the listener socket, the connection set, and
+the drain sequencing, while the engine owns the pool, cache, self-model
+and admission.  The split is what makes a shard embeddable — the
+cluster tier (:mod:`repro.cluster`) runs the same engine behind the
+same listener in N independent processes.
 
 Lifecycle: ``start()`` spins up the pool, runs a calibration pass
 (which both pre-imports NumPy in the workers and primes the NC
@@ -28,21 +36,12 @@ import asyncio
 import contextlib
 import os
 import threading
-import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any
 
 from .. import __version__
-from ..nc.kernel import memo_stats as kernel_memo_stats
-from ..nc.kernel import publish_metrics as publish_kernel_metrics
-from ..nc.kernel import worker_init as kernel_worker_init
-from ..telemetry.metrics import MetricsRegistry
-from ..sweep.cache import ResultCache, point_key
-from ..sweep.runner import point_seed
-from .admission import AdmissionController, SelfModel, TokenBucket
-from .batching import Coalescer, evaluate_batch
+from .engine import AnalysisEngine, ServeConfig
 from .protocol import (
+    CLUSTER_OPS,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -56,140 +55,56 @@ from .protocol import (
 __all__ = ["ServeConfig", "AnalysisServer", "run", "ServerThread"]
 
 
-def _default_workers() -> int:
-    return max(1, min(4, os.cpu_count() or 1))
-
-
-@dataclass
-class ServeConfig:
-    """Everything the operator can turn — all times in seconds."""
-
-    host: str = "127.0.0.1"
-    port: int = 0  # 0 = ephemeral; the actual port is printed/returned
-    workers: "int | None" = None
-    slo_s: "float | None" = None  # delay SLO for admitted requests
-    rate: "float | None" = None  # admission: sustained requests/s (alpha rate R)
-    burst: "float | None" = None  # admission: bucket capacity (alpha burst b)
-    batch_window_s: float = 0.0  # 0 = coalescing off
-    max_batch: int = 16
-    request_timeout_s: float = 30.0
-    drain_timeout_s: float = 10.0
-    cache_dir: "str | None" = None
-    calibrate: int = 6  # calibration evaluations at startup (0 = skip)
-
-    def resolved_workers(self) -> int:
-        return self.workers if self.workers is not None else _default_workers()
-
-
-def _calibration_model() -> dict[str, Any]:
-    """The reference request used to measure per-request service time.
-
-    The BLAST case study's analyze is the canonical serving workload;
-    its cost is representative of any measured pipeline of similar
-    depth.
-    """
-    from ..apps.blast import blast_pipeline
-    from ..streaming import pipeline_to_dict
-
-    return pipeline_to_dict(blast_pipeline())
-
-
 class AnalysisServer:
-    """One serving process: listener, admission, coalescer, worker pool."""
+    """One serving process: listener + connection handling over an engine."""
 
     def __init__(self, config: "ServeConfig | None" = None) -> None:
         self.config = config if config is not None else ServeConfig()
-        self.metrics = MetricsRegistry()
-        self.cache = (
-            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
-        )
-        self.model = SelfModel(self.config.resolved_workers())
-        self.admission: "AdmissionController | None" = None
-        self.coalescer = Coalescer(
-            self._pool_dispatch,
-            window_s=self.config.batch_window_s,
-            max_batch=self.config.max_batch,
-        )
-        self.executor: "ProcessPoolExecutor | None" = None
+        self.engine = AnalysisEngine(self.config)
         self.host = self.config.host
         self.port: "int | None" = None
         self._server: "asyncio.base_events.Server | None" = None
         self._writers: set[asyncio.StreamWriter] = set()
-        self._inflight = 0
         self._dropped = 0
-        self._idle = asyncio.Event()
-        self._idle.set()
         self._draining = False
         self._shutdown_requested = asyncio.Event()
+
+    # engine aliases (the embeddable state lives on the engine) -------- #
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
+    @property
+    def cache(self):
+        return self.engine.cache
+
+    @property
+    def model(self):
+        return self.engine.model
+
+    @property
+    def admission(self):
+        return self.engine.admission
+
+    @property
+    def coalescer(self):
+        return self.engine.coalescer
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
     async def start(self) -> tuple[str, int]:
-        """Create the pool, calibrate, build admission, begin accepting."""
+        """Start the engine (pool, calibration, admission), begin accepting."""
         cfg = self.config
-        # each worker keeps one curve-algebra kernel memo for its whole
-        # lifetime: repeated /analyze requests over the same pipelines
-        # become kernel memo hits instead of fresh min-plus algebra
-        self.executor = ProcessPoolExecutor(
-            max_workers=cfg.resolved_workers(), initializer=kernel_worker_init
-        )
-        if cfg.calibrate > 0:
-            await self._calibrate(cfg.calibrate)
-        self._build_admission()
+        await self.engine.start()
         self._server = await asyncio.start_server(
             self._on_connection, cfg.host, cfg.port, limit=MAX_LINE_BYTES
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
         return self.host, self.port
-
-    async def _calibrate(self, n: int) -> None:
-        """Prime worker imports and the NC self-model with measured times.
-
-        First a parallel warm-up (one task per worker, so every process
-        pays its NumPy import before traffic arrives), then ``n``
-        sequential timed evaluations: in-worker compute time feeds the
-        service-curve rate, and the best-case (submit - compute) gap
-        estimates the dispatch latency ``T``.
-        """
-        model = _calibration_model()
-        options = {"simulate": False, "packetized": False, "workload": None, "base_seed": 42}
-        loop = asyncio.get_running_loop()
-        warmups = [
-            loop.run_in_executor(self.executor, evaluate_batch, model, [{}], options, [i])
-            for i in range(self.model.workers)
-        ]
-        await asyncio.gather(*warmups)
-        dispatch_gaps = []
-        for i in range(n):
-            t0 = time.perf_counter()
-            out = await loop.run_in_executor(
-                self.executor, evaluate_batch, model, [{}], options, [i]
-            )
-            wall = time.perf_counter() - t0
-            compute = float(out[0].get("elapsed", 0.0))
-            self.model.observe(compute)
-            dispatch_gaps.append(max(0.0, wall - compute))
-        # the smallest observed gap is the irreducible hand-off cost;
-        # the coalescing window is part of dispatch by construction
-        self.model.dispatch_latency = min(dispatch_gaps) + self.config.batch_window_s
-
-    def _build_admission(self) -> None:
-        cfg = self.config
-        if cfg.rate is not None:
-            bucket = TokenBucket(cfg.rate, cfg.burst if cfg.burst is not None else max(1.0, cfg.rate))
-            self.admission = AdmissionController(bucket, self.model, slo_s=cfg.slo_s)
-        elif cfg.slo_s is not None:
-            if not self.model.calibrated:
-                raise ValueError(
-                    "--slo without --rate needs calibration (calibrate > 0) to "
-                    "derive the admission envelope from the measured service curve"
-                )
-            self.admission = AdmissionController.for_slo(self.model, cfg.slo_s)
-        else:
-            self.admission = None  # open door: no envelope configured
 
     def request_shutdown(self) -> None:
         """Signal-safe: ask the serve loop to drain and exit."""
@@ -209,20 +124,14 @@ class AnalysisServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.coalescer.flush()
-        try:
-            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_s)
-        except asyncio.TimeoutError:
-            self._dropped += self._inflight
+        self._dropped += await self.engine.aclose()
         for writer in list(self._writers):
             with contextlib.suppress(Exception):
                 writer.close()
-        if self.executor is not None:
-            self.executor.shutdown(wait=True)
-        served = int(self.metrics.counter("serve.responses").value)
+        served = int(self.engine.metrics.counter("serve.responses").value)
         return {
             "served": served,
-            "rejected": int(self.metrics.counter("serve.rejected").value),
+            "rejected": int(self.engine.metrics.counter("serve.rejected").value),
             "dropped": self._dropped,
             "clean": self._dropped == 0,
         }
@@ -230,33 +139,6 @@ class AnalysisServer:
     # ------------------------------------------------------------------ #
     # request plumbing
     # ------------------------------------------------------------------ #
-
-    async def _pool_dispatch(
-        self,
-        model: Mapping[str, Any],
-        params_list: Sequence[Mapping[str, Any]],
-        options: Mapping[str, Any],
-        seeds: Sequence[int],
-    ) -> Sequence[dict[str, Any]]:
-        """Ship one (possibly coalesced) batch to a worker process."""
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self.executor,
-            evaluate_batch,
-            dict(model),
-            [dict(p) for p in params_list],
-            dict(options),
-            list(seeds),
-        )
-
-    def _begin(self) -> None:
-        self._inflight += 1
-        self._idle.clear()
-
-    def _end(self) -> None:
-        self._inflight -= 1
-        if self._inflight == 0:
-            self._idle.set()
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -291,13 +173,13 @@ class AnalysisServer:
                     break  # EOF
                 if not line.strip():
                     continue
-                self._begin()
+                self.engine.begin()
                 try:
                     response = await self._serve_line(line)
                     writer.write(encode(response))
                     await writer.drain()
                 finally:
-                    self._end()
+                    self.engine.end()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-exchange; nothing to answer
         finally:
@@ -307,24 +189,24 @@ class AnalysisServer:
                 await writer.wait_closed()
 
     async def _serve_line(self, line: bytes) -> dict[str, Any]:
-        self.metrics.counter("serve.requests").inc()
+        self.engine.metrics.counter("serve.requests").inc()
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            self.metrics.counter("serve.errors").inc()
+            self.engine.metrics.counter("serve.errors").inc()
             return error_response(None, status=exc.status, code=exc.code, message=str(exc))
         try:
             response = await self._dispatch(request)
         except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
-            self.metrics.counter("serve.errors").inc()
+            self.engine.metrics.counter("serve.errors").inc()
             response = error_response(
                 request.id, status=500, code="internal",
                 message=f"{type(exc).__name__}: {exc}",
             )
         if response.get("ok"):
-            self.metrics.counter("serve.responses").inc()
+            self.engine.metrics.counter("serve.responses").inc()
         else:
-            self.metrics.counter("serve.errors").inc()
+            self.engine.metrics.counter("serve.errors").inc()
         return response
 
     async def _dispatch(self, req: Request) -> dict[str, Any]:
@@ -334,114 +216,31 @@ class AnalysisServer:
                 {"pong": True, "version": __version__, "protocol": PROTOCOL_VERSION},
             )
         if req.op == "capacity":
-            return ok_response(req.id, self.capacity())
+            return ok_response(req.id, self.engine.capacity())
         if req.op == "stats":
-            return ok_response(req.id, self.stats())
+            return ok_response(req.id, self.engine.stats())
         if req.op == "shutdown":
             self.request_shutdown()
             return ok_response(req.id, {"draining": True})
-        return await self._evaluate(req)
-
-    async def _evaluate(self, req: Request) -> dict[str, Any]:
+        if req.op in CLUSTER_OPS:
+            return error_response(
+                req.id,
+                status=501,
+                code="cluster_only",
+                message=f"op {req.op!r} is served by the cluster router, "
+                "not a single shard (see `repro cluster`)",
+            )
         if self._draining:
             return error_response(
                 req.id, status=503, code="draining", message="server is draining"
             )
-        if self.admission is not None:
-            admitted, code, retry_after = self.admission.admit()
-            if not admitted:
-                self.metrics.counter("serve.rejected").inc()
-                return error_response(
-                    req.id,
-                    status=429,
-                    code=code or "rejected",
-                    message="admission control rejected the request "
-                    "(offered load exceeds the alpha envelope or the SLO)",
-                    retry_after_s=retry_after,
-                )
-        t0 = time.perf_counter()
-        key = point_key(req.model or {}, req.params, req.options)
-        out: "dict[str, Any] | None" = None
-        cached = False
-        if self.cache is not None:
-            out = self.cache.get(key)
-            cached = out is not None
-            self.metrics.counter(
-                "serve.cache.hits" if cached else "serve.cache.misses"
-            ).inc()
-        if out is None:
-            # same derivation as the sweep runner, so one cache key maps
-            # to one result no matter which subsystem computed it first
-            seed = point_seed(int(req.options.get("base_seed", 42)), req.params)
-            try:
-                out = await asyncio.wait_for(
-                    self.coalescer.submit(req.model or {}, req.params, req.options, seed),
-                    self.config.request_timeout_s,
-                )
-            except asyncio.TimeoutError:
-                return error_response(
-                    req.id,
-                    status=408,
-                    code="timeout",
-                    message=f"evaluation exceeded {self.config.request_timeout_s} s "
-                    "(the worker task keeps running; retry may hit the cache)",
-                )
-            if "error" not in out and self.cache is not None:
-                self.cache.put(key, out)
-        if "error" in out:
-            return error_response(
-                req.id, status=422, code="evaluation_error", message=str(out["error"])
-            )
-        if not cached:
-            self.model.observe(float(out.get("elapsed", 0.0)))
-            self.metrics.histogram("serve.service_s").observe(
-                float(out.get("elapsed", 0.0))
-            )
-        self.metrics.histogram("serve.latency_s").observe(time.perf_counter() - t0)
-        return ok_response(req.id, {"key": key, "cached": cached, **out})
-
-    # ------------------------------------------------------------------ #
-    # introspection ops
-    # ------------------------------------------------------------------ #
-
-    def capacity(self) -> dict[str, Any]:
-        """The server's NC self-model (the ``/capacity`` response body)."""
-        if self.admission is not None:
-            report = self.admission.capacity_report()
-        else:
-            report = {
-                "arrival_curve": None,  # no envelope configured: open admission
-                "service_curve": {"kind": "rate_latency", **self.model.to_dict()},
-                "delay_bound_s": None,
-                "slo_s": None,
-                "slo_ok": True,
-                "admitted": None,
-                "rejected_rate": 0,
-                "rejected_slo": 0,
-            }
-        report["inflight"] = self._inflight
-        report["batch_window_s"] = self.config.batch_window_s
-        report["draining"] = self._draining
-        # the serving process runs its own NC algebra for admission
-        # control; expose that kernel's memo health alongside the model
-        report["kernel_memo"] = kernel_memo_stats()
-        return report
-
-    def stats(self) -> dict[str, Any]:
-        """Counters, latency histograms, cache and batching effectiveness."""
-        publish_kernel_metrics(self.metrics)
-        return {
-            "metrics": self.metrics.snapshot(),
-            "cache": self.cache.stats() if self.cache is not None else None,
-            "batching": self.coalescer.stats(),
-            "kernel_memo": kernel_memo_stats(),
-            "inflight": self._inflight,
-        }
+        return await self.engine.evaluate(req)
 
 
 async def _amain(config: ServeConfig, *, install_signals: bool = True,
                  ready: "threading.Event | None" = None,
-                 handle: "ServerThread | None" = None) -> dict[str, Any]:
+                 handle: "ServerThread | None" = None,
+                 on_ready=None) -> dict[str, Any]:
     server = AnalysisServer(config)
     host, port = await server.start()
     if install_signals:
@@ -454,30 +253,37 @@ async def _amain(config: ServeConfig, *, install_signals: bool = True,
     if handle is not None:
         handle._attach(server, asyncio.get_running_loop())
     print(
-        f"repro-serve listening on {host}:{port} "
+        f"repro-serve [{config.name}] listening on {host}:{port} "
         f"(pid {os.getpid()}, workers {server.model.workers}, "
         f"protocol v{PROTOCOL_VERSION})",
         flush=True,
     )
+    if on_ready is not None:
+        on_ready(host, port)
     if ready is not None:
         ready.set()
     await server.wait_shutdown()
     summary = await server.drain()
     verdict = "clean" if summary["clean"] else f"DROPPED {summary['dropped']}"
     print(
-        f"repro-serve drained ({verdict}): {summary['served']} served, "
+        f"repro-serve [{config.name}] drained ({verdict}): "
+        f"{summary['served']} served, "
         f"{summary['rejected']} rejected, {summary['dropped']} dropped",
         flush=True,
     )
     return summary
 
 
-def run(config: "ServeConfig | None" = None) -> int:
+def run(config: "ServeConfig | None" = None, *, on_ready=None) -> int:
     """Blocking entry point (the ``repro serve`` command body).
 
     Returns 0 on a clean drain, 1 if any in-flight request was dropped.
+    ``on_ready(host, port)`` fires once the listener is bound — cluster
+    shard processes use it to report their ephemeral port upstream.
     """
-    summary = asyncio.run(_amain(config if config is not None else ServeConfig()))
+    summary = asyncio.run(
+        _amain(config if config is not None else ServeConfig(), on_ready=on_ready)
+    )
     return 0 if summary["clean"] else 1
 
 

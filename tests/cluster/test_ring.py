@@ -1,0 +1,87 @@
+"""Consistent-hash ring: determinism, balance, and minimal disruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+NODES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [f"digest-{i:04x}" for i in range(2000)]
+
+
+class TestRouting:
+    def test_route_is_deterministic(self):
+        a = HashRing(NODES)
+        b = HashRing(NODES)
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_route_lands_on_a_member(self):
+        ring = HashRing(NODES)
+        assert all(ring.route(k) in NODES for k in KEYS)
+
+    def test_node_order_does_not_matter(self):
+        """Vnode positions hash the node *name*, not its list index."""
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(NODES, vnodes=64)
+        counts = {n: 0 for n in NODES}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        # 64 vnodes/node keeps the spread well inside 2x of fair share
+        fair = len(KEYS) / len(NODES)
+        for node, count in counts.items():
+            assert 0.4 * fair < count < 2.0 * fair, (node, counts)
+
+
+class TestPreference:
+    def test_preference_starts_with_the_owner(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:100]:
+            pref = ring.preference(key)
+            assert pref[0] == ring.route(key)
+
+    def test_preference_is_a_permutation_of_the_nodes(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:100]:
+            assert sorted(ring.preference(key)) == sorted(NODES)
+
+    def test_successor_is_the_route_without_the_owner(self):
+        """Failover target == where the key would live if the owner left.
+
+        This is the consistent-hashing contract that keeps the other
+        shards' caches warm: removing one node only remaps that node's
+        keys, and it remaps them to their preference successor.
+        """
+        ring = HashRing(NODES)
+        for key in KEYS[:300]:
+            owner, successor = ring.preference(key)[:2]
+            without_owner = HashRing([n for n in NODES if n != owner])
+            assert without_owner.route(key) == successor
+
+    def test_removal_does_not_remap_other_nodes_keys(self):
+        ring = HashRing(NODES)
+        smaller = HashRing(NODES[:-1])
+        moved = sum(
+            1
+            for key in KEYS
+            if ring.route(key) != NODES[-1] and smaller.route(key) != ring.route(key)
+        )
+        assert moved == 0
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HashRing([])
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(NODES, vnodes=0)
+
+    def test_duplicate_nodes_collapse(self):
+        ring = HashRing(["a", "b", "a"])
+        assert len(ring) == 2

@@ -8,6 +8,7 @@ from repro.scenarios import (
     adversarial_scenarios,
     catalog,
     classic_scenarios,
+    multiflow_scenarios,
     quick_catalog,
     randomized_scenarios,
 )
@@ -16,14 +17,15 @@ from repro.scenarios import (
 class TestCatalogShape:
     def test_catalog_size_floor(self):
         specs = catalog()
-        assert len(specs) >= 25
+        assert len(specs) >= 29
         families = {s.family for s in specs}
-        assert families == {"classic", "randomized", "adversarial"}
+        assert families == {"classic", "randomized", "adversarial", "multiflow"}
 
     def test_every_family_contributes(self):
         assert len(classic_scenarios()) >= 8
         assert len(randomized_scenarios()) >= 8
         assert len(adversarial_scenarios()) >= 8
+        assert len(multiflow_scenarios()) >= 4
 
     def test_names_unique(self):
         names = [s.name for s in catalog()]
@@ -31,10 +33,12 @@ class TestCatalogShape:
 
     def test_quick_catalog_is_a_prefix_subset(self):
         quick = quick_catalog(per_family=2)
-        assert len(quick) == 6
+        assert len(quick) == 8
         full_names = [s.name for s in catalog()]
         assert all(s.name in full_names for s in quick)
-        assert {s.family for s in quick} == {"classic", "randomized", "adversarial"}
+        assert {s.family for s in quick} == {
+            "classic", "randomized", "adversarial", "multiflow"
+        }
 
     def test_every_scenario_checks_something(self):
         for s in catalog():

@@ -1,0 +1,90 @@
+"""ServeClient connect behavior: bounded retry, clear terminal error."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeConnectError
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestConnectFailure:
+    def test_never_bound_raises_serve_connect_error(self):
+        port = _free_port()
+        client = ServeClient("127.0.0.1", port, connect_retries=2,
+                             connect_backoff_s=0.01)
+        with pytest.raises(ServeConnectError) as exc_info:
+            client.connect()
+        message = str(exc_info.value)
+        assert f"127.0.0.1:{port}" in message
+        assert "3 attempt(s)" in message
+        assert "running" in message  # actionable hint, not a raw errno
+
+    def test_connect_error_is_a_connection_error(self):
+        """Callers catching ConnectionError keep working."""
+        assert issubclass(ServeConnectError, ConnectionError)
+
+    def test_zero_retries_fails_fast(self):
+        port = _free_port()
+        client = ServeClient("127.0.0.1", port)  # connect_retries defaults to 0
+        t0 = time.monotonic()
+        with pytest.raises(ServeConnectError, match="1 attempt"):
+            client.connect()
+        assert time.monotonic() - t0 < 1.0
+
+    def test_chains_the_underlying_cause(self):
+        client = ServeClient("127.0.0.1", _free_port(), connect_retries=1,
+                             connect_backoff_s=0.01)
+        with pytest.raises(ServeConnectError) as exc_info:
+            client.connect()
+        assert isinstance(exc_info.value.__cause__, OSError)
+
+
+class TestConnectRetry:
+    def test_retries_until_late_binding_endpoint_appears(self):
+        """The post-`repro serve` race: the listener binds *after* the
+        client's first attempt, and backoff retries absorb the gap."""
+        port = _free_port()
+        accepted = threading.Event()
+
+        def late_listener() -> None:
+            time.sleep(0.25)
+            with socket.socket() as server:
+                server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                server.bind(("127.0.0.1", port))
+                server.listen(1)
+                conn, _addr = server.accept()
+                accepted.set()
+                conn.close()
+
+        thread = threading.Thread(target=late_listener, daemon=True)
+        thread.start()
+        client = ServeClient("127.0.0.1", port, connect_retries=8,
+                             connect_backoff_s=0.05)
+        try:
+            client.connect()  # must not raise
+        finally:
+            client.close()
+            thread.join(5.0)
+        assert accepted.is_set()
+
+    def test_reconnect_after_close_is_allowed(self):
+        port = _free_port()
+        with socket.socket() as server:
+            server.bind(("127.0.0.1", port))
+            server.listen(2)
+            client = ServeClient("127.0.0.1", port)
+            client.connect()
+            assert client.connect() is client  # idempotent while open
+            client.close()
+            client.connect()  # fresh socket after close
+            client.close()
