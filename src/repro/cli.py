@@ -220,12 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-shard calibration evaluations at startup")
     ks.add_argument("--timeout-s", type=float, default=30.0, help="per-request timeout")
     ks.add_argument("--drain-timeout-s", type=float, default=10.0)
+    ks.add_argument("--journal", type=Path, default=None,
+                    help="tenant journal path (default: <cache-dir>/"
+                         "tenant-journal.ndjson when --cache-dir is set)")
+    ks.add_argument("--heartbeat-s", type=float, default=2.0,
+                    help="supervisor heartbeat interval")
+    ks.add_argument("--no-supervise", action="store_true",
+                    help="disable shard supervision (no restart/rejoin)")
 
     kt = ksub.add_parser("status", help="rolled-up /capacity of a running cluster")
     kt.add_argument("--host", default="127.0.0.1")
     kt.add_argument("--port", type=int, default=7430)
     kt.add_argument("--stats", action="store_true",
                     help="show /stats (counters) instead of /capacity")
+    kt.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                    help="poll /stats every SECONDS, printing one health "
+                         "line (epoch, down, restarts, breakers) per tick")
 
     kq = ksub.add_parser("request", help="issue one request through the router")
     kq.add_argument(
@@ -619,6 +629,63 @@ def _parse_tenant_flags(pairs: "list[str]") -> "list[tuple[str, float, float, fl
     return tenants
 
 
+def _cluster_watch(args: argparse.Namespace) -> tuple[str, int]:
+    """``repro cluster status --watch S``: one health line per poll.
+
+    Each tick reconnects (a bounced router is the interesting case) and
+    prints ring epoch, down set, restart totals, non-closed breakers,
+    and journal size.  Ctrl-C exits 0 — watching is not a failure, and
+    neither is the downstream end of a pipe closing (`--watch | head`).
+    """
+    import time as _time
+
+    from .serve import ServeClient
+
+    interval = max(0.1, float(args.watch))
+    try:
+        while True:
+            try:
+                with ServeClient(args.host, args.port, connect_retries=2) as client:
+                    response = client.request("stats")
+                result = response.get("result") or {}
+                down = result.get("down") or []
+                sup = result.get("supervisor") or {}
+                states = {
+                    name: doc["state"]
+                    for name, doc in (sup.get("shards") or {}).items()
+                    if doc["state"] != "up"
+                }
+                breakers = {
+                    name: doc["state"]
+                    for name, doc in (result.get("breakers") or {}).items()
+                    if doc is not None and doc["state"] != "closed"
+                }
+                journal = result.get("journal") or {}
+                line = (
+                    f"epoch={result.get('ring_epoch')} "
+                    f"inflight={result.get('inflight')} "
+                    f"down={','.join(down) if down else '-'} "
+                    f"restarts={sup.get('restarts_total', 0)} "
+                    f"unhealthy={states if states else '-'} "
+                    f"breakers={breakers if breakers else '-'} "
+                    f"journal={journal.get('records', 0)}rec"
+                )
+            except (ConnectionError, OSError) as exc:
+                line = f"unreachable ({type(exc).__name__})"
+            print(f"[{_time.strftime('%H:%M:%S')}] {line}", flush=True)
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        return "", 0
+    except BrokenPipeError:
+        # downstream closed (e.g. `--watch | head`); park stdout on
+        # devnull so the interpreter's exit flush stays silent too
+        import os as _os
+        import sys as _sys
+
+        _os.dup2(_os.open(_os.devnull, _os.O_WRONLY), _sys.stdout.fileno())
+        return "", 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> tuple[str, int]:
     import json
 
@@ -643,6 +710,9 @@ def _cmd_cluster(args: argparse.Namespace) -> tuple[str, int]:
             cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
             calibrate=args.calibrate,
             tenants=_parse_tenant_flags(args.tenant),
+            journal_path=str(args.journal) if args.journal is not None else None,
+            supervise=not args.no_supervise,
+            heartbeat_interval_s=args.heartbeat_s,
         )
         try:
             status = cluster_run(config)
@@ -651,6 +721,8 @@ def _cmd_cluster(args: argparse.Namespace) -> tuple[str, int]:
         return "", status  # run() prints its own listening/drain lines
 
     if args.cluster_command == "status":
+        if args.watch is not None:
+            return _cluster_watch(args)
         op = "stats" if args.stats else "capacity"
         try:
             with ServeClient(args.host, args.port, connect_retries=2) as client:

@@ -17,25 +17,50 @@ pool, kernel memo, result cache — sit behind one router that
    (:mod:`repro.cluster.tenants`);
 3. **fails over on the ring**: a shard that dies mid-request is marked
    down and traffic re-routes to its ring successor
-   (:mod:`repro.cluster.router`).
+   (:mod:`repro.cluster.router`);
+4. **heals itself**: a supervisor heartbeats every shard, restarts
+   crashed processes with full-jitter backoff, quarantines partitioned
+   ones behind a circuit breaker, and rejoins recovered shards into
+   the ring — bumping a ring epoch and retightening every tenant's
+   live bound to whatever capacity actually survives
+   (:mod:`repro.cluster.supervisor`, :mod:`repro.cluster.breaker`);
+5. **keeps tenant state durable**: registrations append to an NDJSON
+   journal replayed on router restart, so a bounce loses no envelope
+   (:mod:`repro.cluster.journal`).
 
 * :mod:`repro.cluster.ring`         — consistent-hash ring;
 * :mod:`repro.cluster.tenants`      — tenant registry + NC bounds;
 * :mod:`repro.cluster.router`       — the routing/admission listener;
 * :mod:`repro.cluster.shards`       — shard subprocess supervision;
+* :mod:`repro.cluster.supervisor`   — heartbeats, restart, rejoin;
+* :mod:`repro.cluster.breaker`      — per-link circuit breaker;
+* :mod:`repro.cluster.journal`      — durable tenant registrations;
 * :mod:`repro.cluster.orchestrator` — cluster lifecycle (``repro
   cluster start``, the :class:`ClusterThread` test harness);
-* :mod:`repro.cluster.loadgen`      — open-loop heavy-tailed replay.
+* :mod:`repro.cluster.loadgen`      — open-loop heavy-tailed replay;
+* :mod:`repro.cluster.chaos`        — seeded fault injection under
+  replayed load (kill/partition/heal), floor-assertable reports.
 """
 
+from .breaker import CircuitBreaker
+from .chaos import ChaosReport, FaultEvent, chaos_schedule, run_chaos, tenant_table
+from .journal import TenantJournal
 from .loadgen import ReplayReport, ScheduledRequest, build_schedule, replay
 from .orchestrator import Cluster, ClusterConfig, ClusterThread, run
 from .ring import HashRing
 from .router import ClusterRouter, RouterConfig, ShardDown, ShardLink
 from .shards import ShardProcess
+from .supervisor import ShardSupervisor, SupervisorConfig
 from .tenants import Tenant, TenantRegistry
 
 __all__ = [
+    "CircuitBreaker",
+    "ChaosReport",
+    "FaultEvent",
+    "chaos_schedule",
+    "run_chaos",
+    "tenant_table",
+    "TenantJournal",
     "ReplayReport",
     "ScheduledRequest",
     "build_schedule",
@@ -50,6 +75,8 @@ __all__ = [
     "ShardDown",
     "ShardLink",
     "ShardProcess",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "Tenant",
     "TenantRegistry",
 ]

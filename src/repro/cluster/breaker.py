@@ -1,0 +1,129 @@
+"""Per-shard circuit breaker: quarantine a flapping backend.
+
+Failover alone handles a shard that dies *once*: the router marks it
+down and walks the ring.  A shard that *flaps* — accepts connections,
+then dies mid-exchange, over and over (a crash-looping process, a
+half-partitioned link) — is worse than a dead one: every retry into it
+spends a connect + a timeout before failover engages, and that latency
+lands on tenant requests.  The classic remedy is a circuit breaker in
+front of each shard link:
+
+* **closed** — normal operation; consecutive failures are counted and
+  a success resets the count.  After ``failure_threshold`` consecutive
+  failures the breaker *opens*.
+* **open** — every call is refused immediately (the router fails over
+  without touching the socket).  After ``reset_timeout_s`` the breaker
+  moves to half-open.
+* **half-open** — exactly one probe call is let through.  Success
+  closes the breaker (the shard is back); failure re-opens it and the
+  reset clock starts again.
+
+The clock is injectable so the state machine is testable without
+sleeping, and the whole object is synchronous — the router calls
+:meth:`allow` / :meth:`record_success` / :meth:`record_failure` inline
+on its event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe state."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ValueError(f"reset_timeout_s must be >= 0, got {reset_timeout_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        # lifetime counters for /stats
+        self.opened_total = 0
+        self.short_circuited = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the timeout ran."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Closed: always.  Open: never (counted in ``short_circuited``).
+        Half-open: only the single probe call.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        self.short_circuited += 1
+        return False
+
+    def record_success(self) -> None:
+        """The call completed: close from half-open, reset the count."""
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """The call failed: count it; trip or re-open as the state demands."""
+        self._probe_inflight = False
+        if self.state == HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def reset(self) -> None:
+        """Force-close (a supervised restart replaced the backend)."""
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = CLOSED
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = self.failure_threshold
+        self.opened_total += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_total": self.opened_total,
+            "short_circuited": self.short_circuited,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

@@ -9,11 +9,22 @@ pre-registrations); :class:`Cluster` turns it into N
 path on a background thread, like ``serve.ServerThread``); :func:`run`
 is the blocking ``repro cluster start`` body.
 
-Shutdown ordering matters and is the reverse of startup: the router
-drains first (stops accepting, answers in-flight forwards — each of
-which needs its shard still alive), then each shard gets SIGTERM and
-performs its own lossless drain.  The cluster drain is *clean* iff the
-router dropped nothing and every shard exited 0.
+Shutdown ordering matters and is the reverse of startup: the
+supervisor stops first (a drain must not race a restart re-inserting
+the shard it is about to SIGTERM), then the router drains (stops
+accepting, answers in-flight forwards — each of which needs its shard
+still alive), then each shard gets SIGTERM and performs its own
+lossless drain.  The cluster drain is *clean* iff the router dropped
+nothing and every shard that was still alive at drain time exited 0
+(a shard that already died — by chaos injection or crash — cannot
+drop anything the router didn't fail over).
+
+Self-healing (this layer's contribution): when ``supervise`` is on, a
+:class:`~repro.cluster.supervisor.ShardSupervisor` heartbeats every
+shard and restarts/rejoins crashed ones; when a tenant journal is
+configured (explicitly, or derived from ``cache_dir``), the registry
+is replayed from it before the router accepts — envelopes survive a
+router bounce.
 """
 
 from __future__ import annotations
@@ -21,14 +32,17 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import random
 import threading
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..serve.engine import ServeConfig
 from ..serve.protocol import PROTOCOL_VERSION
+from .journal import TenantJournal
 from .router import ClusterRouter, RouterConfig
 from .shards import ShardProcess
+from .supervisor import ShardSupervisor, SupervisorConfig
 from .tenants import TenantRegistry
 
 __all__ = ["ClusterConfig", "Cluster", "ClusterThread", "run"]
@@ -54,6 +68,16 @@ class ClusterConfig:
     vnodes: int = 64
     #: tenants registered before the router accepts: (name, rate, burst, slo_s)
     tenants: "list[tuple[str, float, float, float | None]]" = field(default_factory=list)
+    #: durable tenant state; None derives <cache_dir>/tenant-journal.ndjson
+    #: when a cache_dir is configured (no cache_dir, no journal)
+    journal_path: "str | None" = None
+    #: run the shard supervisor (heartbeats, restart + ring rejoin)
+    supervise: bool = True
+    heartbeat_interval_s: float = 2.0
+    probe_timeout_s: float = 1.0
+    #: seeds the supervisor's full-jitter backoff RNG (None = entropy);
+    #: the chaos harness pins it for deterministic restart schedules
+    supervisor_seed: "int | None" = None
 
     def shard_config(self, index: int) -> ServeConfig:
         name = f"shard-{index}"
@@ -84,6 +108,19 @@ class ClusterConfig:
             vnodes=self.vnodes,
         )
 
+    def supervisor_config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            probe_timeout_s=self.probe_timeout_s,
+        )
+
+    def journal_file(self) -> "str | None":
+        if self.journal_path is not None:
+            return self.journal_path
+        if self.cache_dir is not None:
+            return os.path.join(self.cache_dir, "tenant-journal.ndjson")
+        return None
+
 
 class Cluster:
     """Shard processes + router, owned by the calling asyncio loop."""
@@ -94,11 +131,13 @@ class Cluster:
             raise ValueError(f"shards must be >= 1, got {self.config.shards}")
         self.shards: list[ShardProcess] = []
         self.router: "ClusterRouter | None" = None
+        self.supervisor: "ShardSupervisor | None" = None
+        self.journal: "TenantJournal | None" = None
         self.host = self.config.host
         self.port: "int | None" = None
 
     async def start(self) -> tuple[str, int]:
-        """Spawn every shard, wait for their ports, start the router."""
+        """Spawn every shard, wait for their ports, start router + supervisor."""
         cfg = self.config
         loop = asyncio.get_running_loop()
         self.shards = [
@@ -110,8 +149,29 @@ class Cluster:
             *(loop.run_in_executor(None, shard.start) for shard in self.shards)
         )
         registry = TenantRegistry()
+        journal_file = cfg.journal_file()
+        if journal_file is not None:
+            # durable-state replay first: a bounced router rebuilds the
+            # registry the previous incarnation acknowledged...
+            self.journal = TenantJournal(journal_file)
+            self.journal.replay_into(registry)
         for name, rate, burst, slo_s in cfg.tenants:
+            # ...then config pre-registrations apply on top (and are
+            # journaled only when they actually change an envelope, so
+            # identical restarts don't grow the journal)
+            existing = registry.get(name)
+            changed = (
+                existing is None
+                or existing.rate != float(rate)
+                or existing.burst != float(burst)
+                or existing.slo_s != slo_s
+            )
             registry.register(name, rate, burst, slo_s=slo_s)
+            if self.journal is not None and changed:
+                self.journal.append(
+                    "register" if existing is None else "reconfigure",
+                    name, float(rate), float(burst), slo_s=slo_s,
+                )
         self.router = ClusterRouter(
             [
                 (shard.name, host, port)
@@ -119,13 +179,25 @@ class Cluster:
             ],
             cfg.router_config(),
             registry=registry,
+            journal=self.journal,
         )
         self.host, self.port = await self.router.start()
+        if cfg.supervise:
+            self.supervisor = ShardSupervisor(
+                self.shards,
+                self.router,
+                cfg.supervisor_config(),
+                rng=random.Random(cfg.supervisor_seed),
+            )
+            self.supervisor.start()
         return self.host, self.port
 
     async def drain(self) -> dict[str, Any]:
-        """Router first, then SIGTERM each shard; clean iff fully lossless."""
+        """Supervisor off, router drains, then SIGTERM each shard."""
         assert self.router is not None
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+        alive_at_drain = {shard.name: shard.alive for shard in self.shards}
         summary = await self.router.drain()
         loop = asyncio.get_running_loop()
         exit_codes = await asyncio.gather(
@@ -134,13 +206,17 @@ class Cluster:
         summary["shard_exit_codes"] = {
             shard.name: code for shard, code in zip(self.shards, exit_codes)
         }
-        # a shard the router already declared down died by design (e.g.
-        # failover injection); only live shards owe a lossless exit
+        # only a shard that was alive when the drain began owes a
+        # lossless exit: one the router declared down (failover) or
+        # that died before the drain (chaos kill) cannot drop anything
+        # the router didn't already fail over and answer
         summary["clean"] = summary["clean"] and all(
             code == 0
             for shard, code in zip(self.shards, exit_codes)
-            if shard.name not in self.router.down
+            if shard.name not in self.router.down and alive_at_drain[shard.name]
         )
+        if self.supervisor is not None:
+            summary["restarts"] = dict(self.supervisor.restarts)
         return summary
 
 
@@ -248,6 +324,11 @@ class ClusterThread:
     def shards(self) -> list[ShardProcess]:
         assert self._cluster is not None
         return self._cluster.shards
+
+    @property
+    def supervisor(self) -> "ShardSupervisor | None":
+        assert self._cluster is not None
+        return self._cluster.supervisor
 
     @property
     def host(self) -> str:

@@ -15,9 +15,32 @@ One asyncio process that speaks the same NDJSON protocol as a shard
   reports the paper's aggregate ``sum alpha_i`` against the cluster
   beta rolled up from each shard's self-calibrated service curve.
 * **Failover** — a shard that dies mid-request (connection refused,
-  reset, or EOF before a response line) is marked down and the request
-  is re-forwarded to the ring successor; the event is counted in
+  reset, EOF before a response line, or a per-exchange timeout from a
+  hung-but-accepting process) is marked down and the request is
+  re-forwarded to the ring successor; the event is counted in
   ``cluster.failover`` and the shard shows up in ``/stats`` as down.
+* **Self-healing** — membership is no longer fixed at start.  Every
+  membership change (a shard marked down, a supervised restart
+  rejoining via :meth:`ClusterRouter.rejoin_shard`) bumps the **ring
+  epoch** surfaced in ``/stats`` and *retightens admission*: the
+  rolled-up beta is recomputed from the surviving shards, so every
+  tenant's live FIFO-residual bound reflects degraded capacity and the
+  router sheds (429 with ``retry_after_s``) rather than over-admitting
+  while a shard is down — the paper's ``sum alpha_i <= beta``
+  invariant, enforced across failures.  Each :class:`ShardLink`
+  carries a :class:`~repro.cluster.breaker.CircuitBreaker` that
+  quarantines a flapping shard (open after N consecutive failures,
+  half-open probe, close on success) instead of retrying into a dying
+  process, and tenant registrations are journaled
+  (:class:`~repro.cluster.journal.TenantJournal`) so the registry
+  survives a router bounce.
+
+Down shards stay *in* the blake2b ring but are skipped by the
+preference walk, so live routing is exactly the ring-minus-down-shards
+remapping pinned by ``tests/cluster/test_ring.py`` (removing a node
+remaps only its keys, onto their preference successors), and a rejoin
+restores the original ownership — shard-local caches stay warm through
+a crash/restart cycle.
 
 The router forwards the client's *raw request line* unchanged — the
 shard re-validates and the response ``id`` matches without any
@@ -51,6 +74,8 @@ from ..serve.protocol import (
     ok_response,
     parse_request,
 )
+from .breaker import CircuitBreaker
+from .journal import TenantJournal
 from .ring import HashRing
 from .tenants import TenantRegistry
 
@@ -67,23 +92,77 @@ class RouterConfig:
     drain_timeout_s: float = 10.0
     vnodes: int = 64
     name: str = "router"
+    #: consecutive exchange failures before a shard's breaker opens
+    breaker_failures: int = 3
+    #: seconds a tripped breaker stays open before its half-open probe
+    breaker_reset_s: float = 2.0
 
 
 class ShardDown(ConnectionError):
-    """The shard did not answer: refused, reset, or EOF mid-exchange."""
+    """The shard did not answer: refused, reset, EOF, or exchange timeout."""
 
 
 class ShardLink:
-    """A small connection pool from the router to one shard."""
+    """A small connection pool from the router to one shard.
 
-    def __init__(self, name: str, host: str, port: int) -> None:
+    Every exchange is bounded by ``timeout_s`` (a hung-but-accepting
+    shard must not wedge the router's request path) and gated by an
+    optional circuit breaker (a flapping shard is refused outright
+    while its breaker is open).  Both failure modes surface as
+    :class:`ShardDown`, so the router's existing failover walk — mark
+    down, try the ring successor — handles them uniformly.
+
+    ``partitioned`` is the deterministic fault-injection hook used by
+    :mod:`repro.cluster.chaos`: while set, the link behaves exactly
+    like a network partition between router and shard (every exchange
+    refused), without touching the shard process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        timeout_s: "float | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> None:
         self.name = name
         self.host = host
         self.port = port
+        self.timeout_s = timeout_s
+        self.breaker = breaker
+        self.partitioned = False
         self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     async def exchange(self, frame: bytes) -> dict[str, Any]:
         """One request line out, one response line back, over a pooled conn."""
+        if self.partitioned:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ShardDown(f"shard {self.name!r} unreachable (link partitioned)")
+        if self.breaker is not None and not self.breaker.allow():
+            raise ShardDown(f"shard {self.name!r} circuit breaker is open")
+        try:
+            if self.timeout_s is not None:
+                doc = await asyncio.wait_for(self._exchange(frame), self.timeout_s)
+            else:
+                doc = await self._exchange(frame)
+        except asyncio.TimeoutError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise ShardDown(
+                f"shard {self.name!r} did not answer within {self.timeout_s} s"
+            ) from None
+        except ShardDown:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return doc
+
+    async def _exchange(self, frame: bytes) -> dict[str, Any]:
         if self._free:
             reader, writer = self._free.pop()
         else:
@@ -101,6 +180,11 @@ class ShardLink:
                 raise ShardDown(f"shard {self.name!r} closed mid-exchange")
             doc = json.loads(line)
         except ShardDown:
+            self._discard(writer)
+            raise
+        except asyncio.CancelledError:
+            # the wait_for timeout (or shutdown) cancelled us mid-I/O;
+            # the connection is in an unknown framing state — drop it
             self._discard(writer)
             raise
         except (ConnectionError, OSError, ValueError) as exc:
@@ -130,15 +214,25 @@ class ClusterRouter:
         config: "RouterConfig | None" = None,
         *,
         registry: "TenantRegistry | None" = None,
+        journal: "TenantJournal | None" = None,
     ) -> None:
         if not shards:
             raise ValueError("ClusterRouter needs at least one shard")
         self.config = config if config is not None else RouterConfig()
-        self.links = {name: ShardLink(name, host, port) for name, host, port in shards}
+        self.links = {
+            name: self._make_link(name, host, port) for name, host, port in shards
+        }
         self.ring = HashRing(self.links, vnodes=self.config.vnodes)
         self.registry = registry if registry is not None else TenantRegistry()
+        self.journal = journal
         self.metrics = MetricsRegistry()
         self.down: set[str] = set()
+        #: bumped on every membership change (shard lost or rejoined);
+        #: lets clients and the chaos harness observe ring transitions
+        self.ring_epoch = 1
+        #: attached by the orchestrator when supervision is enabled
+        self.supervisor: "Any | None" = None
+        self._beta_refresh_task: "asyncio.Task[Any] | None" = None
         self.host = self.config.host
         self.port: "int | None" = None
         self.beta: "Curve | None" = None
@@ -182,6 +276,10 @@ class ClusterRouter:
             await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_s)
         except asyncio.TimeoutError:
             dropped = self._inflight
+        if self._beta_refresh_task is not None and not self._beta_refresh_task.done():
+            self._beta_refresh_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, ShardDown):
+                await self._beta_refresh_task
         for link in self.links.values():
             await link.aclose()
         for writer in list(self._writers):
@@ -247,10 +345,8 @@ class ClusterRouter:
         async def ask(name: str) -> tuple[str, Any]:
             frame = encode({"v": PROTOCOL_VERSION, "id": f"router-{op}", "op": op})
             try:
-                return name, await asyncio.wait_for(
-                    self.links[name].exchange(frame), self.config.forward_timeout_s
-                )
-            except (ShardDown, asyncio.TimeoutError):
+                return name, await self.links[name].exchange(frame)
+            except ShardDown:
                 self._mark_down(name)
                 return name, None
 
@@ -258,10 +354,68 @@ class ClusterRouter:
         results = await asyncio.gather(*(ask(name) for name in live))
         return dict(results)
 
+    # ------------------------------------------------------------------ #
+    # membership: mark down, rejoin, retighten
+    # ------------------------------------------------------------------ #
+
+    def _make_link(self, name: str, host: str, port: int) -> ShardLink:
+        return ShardLink(
+            name, host, port,
+            timeout_s=self.config.forward_timeout_s,
+            breaker=CircuitBreaker(
+                failure_threshold=self.config.breaker_failures,
+                reset_timeout_s=self.config.breaker_reset_s,
+            ),
+        )
+
     def _mark_down(self, name: str) -> None:
         if name not in self.down:
             self.down.add(name)
+            self.ring_epoch += 1
             self.metrics.counter("cluster.shards_lost").inc()
+            # admission must retighten against the *surviving* capacity:
+            # with a stale (larger) beta the router would keep quoting
+            # pre-failure bounds and over-admit into the degraded cluster
+            self._schedule_beta_refresh()
+
+    def _schedule_beta_refresh(self) -> None:
+        """Recompute the rolled-up beta as soon as the loop breathes.
+
+        Coalesces bursts (several shards failing in one gather) into a
+        single refresh; a no-op outside a running loop (unit tests that
+        poke the router synchronously).
+        """
+        if self._beta_refresh_task is not None and not self._beta_refresh_task.done():
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        self._beta_refresh_task = loop.create_task(self.refresh_beta())
+
+    async def rejoin_shard(self, name: str, host: str, port: int) -> None:
+        """Re-insert a recovered shard and loosen admission back up.
+
+        Called by the supervisor once a restarted (or heal-probed)
+        shard answers pings again.  Same endpoint → the existing link
+        is kept (its breaker force-closed); a new endpoint (the restart
+        path: replacement processes bind ephemeral ports) → the old
+        link is closed and replaced.  Either way the shard leaves the
+        down set, the ring epoch bumps, and beta is recomputed so
+        tenant bounds retighten to the restored capacity.
+        """
+        if name not in self.links:
+            raise ValueError(f"unknown shard {name!r}")
+        link = self.links[name]
+        if (link.host, link.port) != (host, port):
+            await link.aclose()
+            self.links[name] = self._make_link(name, host, port)
+        elif link.breaker is not None:
+            link.breaker.reset()
+        self.down.discard(name)
+        self.ring_epoch += 1
+        self.metrics.counter("cluster.shards_rejoined").inc()
+        await self.refresh_beta()
 
     # ------------------------------------------------------------------ #
     # connection plumbing (same frame discipline as AnalysisServer)
@@ -338,6 +492,7 @@ class ClusterRouter:
                 "protocol": PROTOCOL_VERSION,
                 "shards": sorted(self.links),
                 "down": sorted(self.down),
+                "ring_epoch": self.ring_epoch,
             })
         if req.op == "register_tenant":
             return await self._register_tenant(req)
@@ -364,12 +519,22 @@ class ClusterRouter:
     async def _register_tenant(self, req: Request) -> dict[str, Any]:
         assert req.tenant is not None  # parse_request enforces it
         await self.refresh_beta()
+        op = "reconfigure" if self.registry.get(req.tenant) is not None else "register"
         tenant = self.registry.register(
             req.tenant,
             req.options["rate"],
             req.options["burst"],
             slo_s=req.options.get("slo_s"),
         )
+        if self.journal is not None:
+            # journaled *after* validation succeeded, *before* the
+            # response: a registration the client saw acknowledged is
+            # durable across a router bounce.  (Registrations are rare
+            # control-plane ops; the small atomic rewrite is fine on
+            # the event loop.)
+            self.journal.append(
+                op, tenant.name, tenant.rate, tenant.burst, slo_s=tenant.slo_s
+            )
         doc = tenant.to_dict()
         if self.beta is not None:
             bound = self.registry.tenant_delay_bound(tenant.name, self.beta)
@@ -414,6 +579,17 @@ class ClusterRouter:
             "shards": shards,
             "down": sorted(self.down),
             "inflight": self._inflight,
+            "ring_epoch": self.ring_epoch,
+            "breakers": {
+                name: (link.breaker.snapshot() if link.breaker is not None else None)
+                for name, link in self.links.items()
+            },
+            "supervisor": (
+                self.supervisor.snapshot() if self.supervisor is not None else None
+            ),
+            "journal": (
+                self.journal.snapshot() if self.journal is not None else None
+            ),
         })
 
     # ------------------------------------------------------------------ #
@@ -451,19 +627,14 @@ class ClusterRouter:
             attempts += 1
             self.metrics.counter(f"cluster.shard.{name}.requests").inc()
             try:
-                doc = await asyncio.wait_for(
-                    self.links[name].exchange(raw), self.config.forward_timeout_s
-                )
+                # the link applies the per-exchange timeout itself and
+                # surfaces it as ShardDown, so a hung-but-accepting
+                # shard fails over exactly like a dead one
+                doc = await self.links[name].exchange(raw)
             except ShardDown:
                 self._mark_down(name)
                 self.metrics.counter("cluster.failover").inc()
                 continue
-            except asyncio.TimeoutError:
-                return error_response(
-                    req.id, status=408, code="timeout",
-                    message=f"shard {name!r} did not answer within "
-                    f"{self.config.forward_timeout_s} s",
-                )
             if doc.get("ok") and isinstance(doc.get("result"), dict):
                 doc["result"]["shard"] = name
                 if attempts > 1:

@@ -14,6 +14,13 @@ shard leaves the cluster:
 * :meth:`kill` — SIGKILL, the failure-injection path used by the
   failover tests: the process dies mid-request and the router must
   re-route to the ring successor.
+
+:meth:`restart` is the supervision path back *into* the cluster: it
+reaps whatever is left of the previous process and launches a fresh
+one from the same :class:`~repro.serve.engine.ServeConfig` (ephemeral
+port, so the replacement never races the corpse for the old socket).
+The supervisor then re-inserts the new ``(host, port)`` into the
+router's ring.
 """
 
 from __future__ import annotations
@@ -100,3 +107,20 @@ class ShardProcess:
         if self._process is not None and self._process.is_alive():
             self._process.kill()
             self._process.join(10.0)
+
+    def restart(self) -> tuple[str, int]:
+        """Reap the dead (or wedged) process and launch a replacement.
+
+        Blocks until the new process reports its listener endpoint —
+        the supervisor runs this in an executor.  A still-alive process
+        is SIGKILLed first: restart is the escalation path, a graceful
+        exit would have been :meth:`terminate`.
+        """
+        if self._process is not None:
+            if self._process.is_alive():
+                self._process.kill()
+            self._process.join(10.0)
+            self._process = None
+        self.host = None
+        self.port = None
+        return self.start()

@@ -19,10 +19,19 @@ raises :class:`ServeConnectError` (a ``ConnectionError`` naming the
 endpoint, the attempt count, and the window) when the endpoint never
 comes up, instead of leaking a raw ``ConnectionRefusedError`` from
 whichever attempt failed last.
+
+Both the connect and the request-retry backoffs apply **full jitter**:
+the actual sleep is ``uniform(0, backoff)`` while the backoff ceiling
+doubles per attempt.  Deterministic sleeps synchronize — a fleet of
+clients reconnecting after a router bounce would otherwise hammer the
+listener in lockstep waves.  The RNG is injectable (``rng=``) so tests
+can pin the draw.  A server-supplied ``retry_after_s`` hint is honored
+exactly, un-jittered: the server already knows when capacity frees up.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Mapping
@@ -56,14 +65,17 @@ class ServeClient:
         timeout: float = 60.0,
         connect_retries: int = 0,
         connect_backoff_s: float = 0.05,
+        rng: "random.Random | None" = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         #: extra connect attempts after the first (0 = fail fast)
         self.connect_retries = int(connect_retries)
-        #: initial backoff between attempts; doubles per retry, capped at 1 s
+        #: backoff *ceiling* between attempts; doubles per retry, capped
+        #: at 1 s — each sleep draws uniform(0, ceiling) (full jitter)
         self.connect_backoff_s = float(connect_backoff_s)
+        self._rng = rng if rng is not None else random.Random()
         self._sock: "socket.socket | None" = None
         self._file: Any = None
         self._next_id = 0
@@ -89,7 +101,7 @@ class ServeClient:
                 last = exc
                 self._sock = None
                 if attempt + 1 < attempts:
-                    time.sleep(backoff)
+                    time.sleep(self._rng.uniform(0.0, backoff))
                     backoff = min(1.0, backoff * 2 if backoff > 0 else 0.05)
         if self._sock is None:
             waited = time.monotonic() - t0
@@ -146,8 +158,9 @@ class ServeClient:
         ``retries > 0`` makes the client router-aware: a 429 (admission
         rejected) or 503 (draining / shard failing over) response is
         retried up to ``retries`` times, honoring the server's
-        ``retry_after_s`` hint when present and an exponential backoff
-        otherwise.  The final response — success or not — is returned.
+        ``retry_after_s`` hint when present and a full-jittered
+        exponential backoff otherwise.  The final response — success
+        or not — is returned.
         """
         self.connect()
         if id is None:
@@ -171,7 +184,9 @@ class ServeClient:
             if attempt >= retries:
                 return response
             hint = (response.get("error") or {}).get("retry_after_s")
-            delay = float(hint) if hint else backoff
+            # the hint is exact (the server computed when the bucket
+            # refills); only the blind backoff gets jittered
+            delay = float(hint) if hint else self._rng.uniform(0.0, backoff)
             time.sleep(min(2.0, max(0.0, delay)))
             backoff = min(1.0, backoff * 2 if backoff > 0 else 0.05)
         return response

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -39,6 +40,37 @@ __all__ = ["ServeConfig", "AnalysisEngine"]
 
 def _default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def _pool_worker_init(parent_pid: int) -> None:
+    """Worker-process initializer: kernel memo + parent-death watchdog.
+
+    A ``ProcessPoolExecutor`` worker whose parent is SIGKILLed (the
+    cluster chaos path — ``ShardProcess.kill``) never learns: every
+    worker inherits the call-queue write end, so the blocking read
+    never sees EOF and the orphan sits forever, pinning every inherited
+    file descriptor (including the launcher's stdout pipe, which hangs
+    any ``... | tail`` style harness waiting for EOF).  The watchdog
+    thread polls the parent pid and hard-exits the worker the moment it
+    is reparented — workers die with their shard, by whatever signal
+    the shard died.
+
+    ``parent_pid`` is captured in the *parent* at executor construction
+    and shipped via ``initargs``: if the kill lands while this worker is
+    still bootstrapping, ``os.getppid()`` here would already report the
+    reaper and a self-captured "parent" would never change.
+    """
+    kernel_worker_init()
+    if os.getppid() != parent_pid:
+        os._exit(0)  # orphaned before the initializer even ran
+
+    def watch() -> None:
+        while True:
+            time.sleep(1.0)
+            if os.getppid() != parent_pid:
+                os._exit(0)
+
+    threading.Thread(target=watch, daemon=True, name="parent-watchdog").start()
 
 
 @dataclass
@@ -116,7 +148,9 @@ class AnalysisEngine:
         # lifetime: repeated /analyze requests over the same pipelines
         # become kernel memo hits instead of fresh min-plus algebra
         self.executor = ProcessPoolExecutor(
-            max_workers=cfg.resolved_workers(), initializer=kernel_worker_init
+            max_workers=cfg.resolved_workers(),
+            initializer=_pool_worker_init,
+            initargs=(os.getpid(),),
         )
         if cfg.calibrate > 0:
             await self._calibrate(cfg.calibrate)

@@ -1,0 +1,124 @@
+"""Circuit breaker state machine, driven by a fake clock (no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout_s=2.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        # two more failures would have tripped without the reset
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_threshold_consecutive_failures_trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 1
+
+
+class TestOpen:
+    @pytest.fixture(autouse=True)
+    def tripped(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_open_refuses_and_counts_short_circuits(self, breaker):
+        assert breaker.allow() is False
+        assert breaker.allow() is False
+        assert breaker.short_circuited == 2
+
+    def test_open_advances_to_half_open_after_the_timeout(self, breaker, clock):
+        clock.advance(1.99)
+        assert breaker.state == "open"
+        clock.advance(0.02)
+        assert breaker.state == "half_open"
+
+    def test_reset_force_closes(self, breaker):
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+
+class TestHalfOpen:
+    @pytest.fixture(autouse=True)
+    def half_open(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.state == "half_open"
+
+    def test_exactly_one_probe_is_let_through(self, breaker):
+        assert breaker.allow() is True  # the probe
+        assert breaker.allow() is False  # everyone else waits on it
+        assert breaker.short_circuited == 1
+
+    def test_probe_success_closes(self, breaker):
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self, breaker, clock):
+        assert breaker.allow() is True
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 2
+        clock.advance(2.0)
+        assert breaker.state == "half_open"  # a fresh probe window
+
+
+class TestSnapshotAndValidation:
+    def test_snapshot_shape(self, breaker):
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": "closed",
+            "consecutive_failures": 1,
+            "opened_total": 0,
+            "short_circuited": 0,
+        }
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)

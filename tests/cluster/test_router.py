@@ -197,6 +197,9 @@ class TestFailover:
             workers_per_shard=1,
             calibrate=0,
             cache_dir=str(tmp_path / "cache"),
+            # this class asserts on the *unhealed* failure state; the
+            # supervisor would restart the victim mid-assertion
+            supervise=False,
         )
         with ClusterThread(config) as handle:
             yield handle

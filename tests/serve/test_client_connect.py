@@ -1,7 +1,8 @@
-"""ServeClient connect behavior: bounded retry, clear terminal error."""
+"""ServeClient connect behavior: bounded retry, jitter, clear terminal error."""
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -88,3 +89,68 @@ class TestConnectRetry:
             client.close()
             client.connect()  # fresh socket after close
             client.close()
+
+
+class _RecordingRng(random.Random):
+    """Records every uniform(a, b) draw so tests can see the jitter."""
+
+    def __init__(self, seed: int) -> None:
+        super().__init__(seed)
+        self.draws: list[tuple[float, float]] = []
+
+    def uniform(self, a: float, b: float) -> float:
+        self.draws.append((a, b))
+        return super().uniform(a, b)
+
+
+class TestConnectJitter:
+    def test_backoff_sleeps_are_full_jitter_draws(self):
+        """Each retry sleeps uniform(0, ceiling) with the ceiling
+        doubling per attempt — not the bare deterministic ceiling
+        (which would synchronize a fleet of reconnecting clients)."""
+        rng = _RecordingRng(0)
+        client = ServeClient("127.0.0.1", _free_port(), connect_retries=3,
+                             connect_backoff_s=0.01, rng=rng)
+        with pytest.raises(ServeConnectError):
+            client.connect()
+        # 4 attempts = 3 sleeps; ceilings double from the configured base
+        assert rng.draws == [(0.0, 0.01), (0.0, 0.02), (0.0, 0.04)]
+
+    def test_retry_after_hint_is_honored_exactly_unjittered(self):
+        """A 429's retry_after_s is the server's own refill computation;
+        jittering it would only delay the admit."""
+        port = _free_port()
+        hint_s = 0.2
+
+        def rejecting_server() -> None:
+            with socket.socket() as server:
+                server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                server.bind(("127.0.0.1", port))
+                server.listen(1)
+                conn, _addr = server.accept()
+                with conn, conn.makefile("rwb") as f:
+                    f.readline()
+                    f.write(
+                        b'{"v": 1, "id": 1, "ok": false, "status": 429, '
+                        b'"error": {"code": "rate_limited", "message": "no", '
+                        b'"retry_after_s": 0.2}}\n'
+                    )
+                    f.flush()
+                    f.readline()
+                    f.write(b'{"v": 1, "id": 1, "ok": true, "result": {}}\n')
+                    f.flush()
+
+        thread = threading.Thread(target=rejecting_server, daemon=True)
+        thread.start()
+        rng = _RecordingRng(0)
+        client = ServeClient("127.0.0.1", port, connect_retries=4, rng=rng)
+        t0 = time.monotonic()
+        try:
+            response = client.request("ping", retries=1)
+        finally:
+            client.close()
+            thread.join(5.0)
+        assert response["ok"] is True
+        assert time.monotonic() - t0 >= hint_s  # slept the full hint
+        # the hinted sleep drew nothing from the RNG
+        assert all(hi <= 0.05 for _lo, hi in rng.draws)
