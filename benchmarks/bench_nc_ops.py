@@ -12,13 +12,30 @@ the kernel disabled vs. enabled+warm, asserting the two produce
 identical results and recording the speedup and memo hit rate in
 ``BENCH_nc_ops.json``.
 
+The **cold backend** section times the generic (memo-disabled) path of
+the envelope-bound operators — the cost every memo miss pays — on the
+``upgrade_grid`` points at *packet granularity*: per grid point it
+builds the staircase arrival envelope, caps it at the sweep workload
+(the workload-capped output-envelope path ``analyze()`` takes for the
+paper's unstable apps), and computes
+``(alpha (*) gamma) (/) beta`` — pitting the vectorized array backend
+against the object backend on identical inputs and asserting the
+results are byte-identical.  The deviation bounds are deliberately
+excluded from this timing: their generics are level-space sweeps that
+never touch the envelope, so they are backend-independent by
+construction.
+
 Run as a script for the full benchmark:
 
     PYTHONPATH=src python benchmarks/bench_nc_ops.py            # full
     PYTHONPATH=src python benchmarks/bench_nc_ops.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_nc_ops.py --cold     # cold section only
 
 The script exits non-zero if the warm-path speedup regresses below the
-floor (1.5x full, 1.2x quick) — the CI kernel-bench step relies on that.
+floor (1.5x full, 1.2x quick), or the cold array-vs-object speedup
+below its floor (5x full, 3x quick) — the CI kernel-bench steps rely
+on that.  ``--cold`` reuses an existing ``BENCH_nc_ops.json``, updating
+only the ``cold_backend`` key.
 """
 
 from __future__ import annotations
@@ -32,8 +49,11 @@ from pathlib import Path
 from repro import __version__
 from repro.apps.blast import blast_pipeline
 from repro.nc import (
+    Curve,
+    backend_override,
     convolve,
     deconvolve,
+    digest_of,
     kernel_disabled,
     leaky_bucket,
     lower_pseudo_inverse,
@@ -42,7 +62,8 @@ from repro.nc import (
     reset_kernel,
     token_bucket_stair,
 )
-from repro.streaming import upgrade_grid
+from repro.streaming import build_model, upgrade_grid
+from repro.sweep import Axis, SweepSpec
 from repro.units import MiB
 
 
@@ -137,16 +158,121 @@ def bench_upgrade_grid(factors) -> dict:
     }
 
 
+def _stair_grid_params(factors):
+    """Per-point model parameters of the blast upgrade grid.
+
+    The same grid ``bench_upgrade_grid`` sweeps, but captured as raw
+    curve ingredients so the cold section can rebuild the packetized
+    arrival stair inside the timed region (its construction is itself
+    an envelope-bound ``minimum``).
+    """
+    spec = SweepSpec.from_pipeline(
+        blast_pipeline(),
+        [Axis("scale:ungapped_ext", factors), Axis("scale:network", factors)],
+    )
+    params = []
+    for point in spec.points():
+        applied = spec.apply_point(point)
+        model = build_model(applied.pipeline, packetized=True)
+        params.append(
+            (
+                applied.pipeline.source.rate,
+                model.effective_burst,
+                applied.pipeline.source.packet_bytes,
+                model.beta_system,
+                model.gamma_system,
+            )
+        )
+    return params
+
+
+def _run_cold_points(params, n_steps: int, workload: float) -> list:
+    cap = Curve.constant(workload)
+    out = []
+    for rate, burst, packet, beta, gamma in params:
+        alpha = token_bucket_stair(rate, burst, packet, n_steps=n_steps)
+        capped = alpha.minimum(cap)
+        out.append(deconvolve(convolve(capped, gamma), beta))
+    return out
+
+
+def bench_cold_backend(factors, n_steps: int, repeats: int = 3) -> dict:
+    """Array vs. object backend on the memo-disabled upgrade-grid path.
+
+    Per grid point: stair construction (``minimum``), workload cap
+    (``minimum``), ``convolve``, ``deconvolve`` — every envelope-bound
+    generic, nothing backend-independent.  Byte-identity of the per
+    point results across backends is asserted, both cold
+    (kernel-disabled) and warm (kernel-on digests).
+    """
+    params = _stair_grid_params(factors)
+    workload = 256 * MiB
+    times = {}
+    outputs = {}
+    for be in ("object", "array"):
+        with backend_override(be), kernel_disabled():
+            _run_cold_points(params, n_steps, workload)  # warm numpy/imports
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                out = _run_cold_points(params, n_steps, workload)
+                best = min(best, time.perf_counter() - t0)
+            times[be] = best
+            outputs[be] = out
+    import numpy as np
+
+    for a, b in zip(outputs["object"], outputs["array"]):
+        assert (
+            np.array_equal(a.bx, b.bx)
+            and np.array_equal(a.by, b.by)
+            and np.array_equal(a.sy, b.sy)
+            and np.array_equal(a.sl, b.sl)
+        ), "cold-path results must be byte-identical across backends"
+
+    # warm kernel-on identity: same digests from either backend
+    warm_digests = {}
+    for be in ("object", "array"):
+        reset_kernel()
+        with backend_override(be):
+            warm_digests[be] = [
+                digest_of(c) for c in _run_cold_points(params, n_steps, workload)
+            ]
+    assert warm_digests["object"] == warm_digests["array"], (
+        "warm kernel-on results must be byte-identical across backends"
+    )
+
+    return {
+        "n_points": len(params),
+        "stair_steps": n_steps,
+        "ops_per_point": ["minimum", "minimum", "convolve", "deconvolve"],
+        "object_s": times["object"],
+        "array_s": times["array"],
+        "speedup_array_vs_object": (
+            times["object"] / times["array"] if times["array"] > 0 else None
+        ),
+        "warm_identical_across_backends": True,
+    }
+
+
+def _cold_config(quick: bool) -> "tuple[tuple, int]":
+    factors = (1.0, 1.5) if quick else (1.0, 1.25, 1.5, 2.0)
+    n_steps = 96 if quick else 128
+    return factors, n_steps
+
+
 def run_benchmark(quick: bool = False) -> dict:
     n_cases = 8 if quick else 24
     factors = (1.0, 1.5) if quick else (1.0, 1.25, 1.5, 2.0)
+    cold_factors, cold_steps = _cold_config(quick)
     record = {
         "bench": "nc_ops",
         "version": __version__,
         "quick": quick,
         "cpu_count": os.cpu_count(),
+        "backend": memo_stats()["backend"],
         "micro": bench_micro_ops(n_cases),
         "upgrade_grid": bench_upgrade_grid(factors),
+        "cold_backend": bench_cold_backend(cold_factors, cold_steps),
     }
     return record
 
@@ -167,15 +293,53 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
     parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="run only the cold backend section, updating the existing JSON",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
         help="fail below this warm upgrade_grid speedup (default 1.5, quick 1.2)",
     )
+    parser.add_argument(
+        "--min-cold-speedup",
+        type=float,
+        default=None,
+        help="fail below this cold array-vs-object speedup (default 5.0, quick 3.0)",
+    )
     args = parser.parse_args()
+    out = Path(__file__).parent / "BENCH_nc_ops.json"
+    cold_floor = (
+        args.min_cold_speedup
+        if args.min_cold_speedup is not None
+        else (3.0 if args.quick else 5.0)
+    )
+
+    if args.cold:
+        cold_factors, cold_steps = _cold_config(args.quick)
+        cold = bench_cold_backend(cold_factors, cold_steps)
+        record = json.loads(out.read_text()) if out.exists() else {
+            "bench": "nc_ops",
+            "version": __version__,
+            "quick": args.quick,
+            "cpu_count": os.cpu_count(),
+        }
+        record["cold_backend"] = cold
+        record["backend"] = memo_stats()["backend"]
+        out.write_text(json.dumps(record, indent=1) + "\n")
+        print(json.dumps(cold, indent=1))
+        print(f"\n[cold_backend updated in {out}]")
+        speedup = cold["speedup_array_vs_object"]
+        assert speedup is not None and speedup >= cold_floor, (
+            f"cold array-vs-object speedup {speedup:.2f}x below the "
+            f"{cold_floor:.1f}x floor"
+        )
+        print(f"cold array-vs-object speedup {speedup:.2f}x (>= {cold_floor:.1f}x OK)")
+        return
 
     record = run_benchmark(quick=args.quick)
-    out = Path(__file__).parent / "BENCH_nc_ops.json"
     out.write_text(json.dumps(record, indent=1) + "\n")
     print(json.dumps(record, indent=1))
     print(f"\n[written to {out}]")
@@ -187,6 +351,14 @@ def main() -> None:
         f"the {floor:.1f}x floor"
     )
     print(f"warm upgrade_grid speedup {speedup:.2f}x (>= {floor:.1f}x OK)")
+    cold_speedup = record["cold_backend"]["speedup_array_vs_object"]
+    assert cold_speedup is not None and cold_speedup >= cold_floor, (
+        f"cold array-vs-object speedup {cold_speedup:.2f}x below the "
+        f"{cold_floor:.1f}x floor"
+    )
+    print(
+        f"cold array-vs-object speedup {cold_speedup:.2f}x (>= {cold_floor:.1f}x OK)"
+    )
 
 
 if __name__ == "__main__":

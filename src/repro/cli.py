@@ -806,11 +806,14 @@ def _cmd_cache(args: argparse.Namespace) -> tuple[str, int]:
     lines += [
         "== curve-algebra kernel (this process) ==",
         f"enabled            {km['enabled']}",
+        f"backend            {km['backend']}",
         f"memo entries       {km['size']} / {km['max_size']}",
         f"hit rate           {rate} ({km['hits']} hits / {km['misses']} misses)",
         f"fast-path hits     {km['fast_path_hits']}",
         f"evictions          {km['evictions']}",
         f"interned curves    {km['interned_curves']}",
+        f"batched evals      {km['eval_batch_calls']} calls"
+        f" / {km['eval_batch_points']} points",
     ]
     return "\n".join(lines), 0
 

@@ -17,14 +17,19 @@ Quick start::
 
 from .curve import Curve, UnboundedCurveError
 from .kernel import (
+    backend,
+    backend_override,
     digest_of,
+    eval_batch,
     interned,
     kernel_disabled,
     kernel_enabled,
     memo_stats,
     reset_kernel,
+    set_backend,
     set_kernel_enabled,
 )
+from .array_backend import PieceArray
 from .pieces import Point, Segment, envelope
 from .tolerance import EPS, EPS_STRICT, close
 from .builders import (
@@ -85,16 +90,21 @@ __all__ = [
     "UnboundedCurveError",
     "Point",
     "Segment",
+    "PieceArray",
     "envelope",
     "EPS",
     "EPS_STRICT",
     "close",
+    "backend",
+    "backend_override",
     "digest_of",
+    "eval_batch",
     "interned",
     "kernel_disabled",
     "kernel_enabled",
     "memo_stats",
     "reset_kernel",
+    "set_backend",
     "set_kernel_enabled",
     "affine",
     "constant_rate",

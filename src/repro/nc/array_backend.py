@@ -1,0 +1,797 @@
+"""NumPy structure-of-arrays backend for the piece-level curve algebra.
+
+The object backend (:mod:`repro.nc.pieces`, :mod:`repro.nc.minplus`)
+represents a piece bag as Python lists of ``Point``/``Segment``
+NamedTuples and sweeps them with interpreted loops.  This module keeps
+the same algorithms — pairwise piece combination followed by an exact
+lower/upper envelope over the elementary-interval grid — but stores the
+bag as a structure of arrays (:class:`PieceArray`) and replaces every
+O(grid x bag) loop with a broadcast NumPy computation:
+
+* the active-segment incidence matrix per elementary interval,
+* the per-slope minimum-intercept line dedupe feeding the hull,
+* the grid-point candidate values (point bags and strict-interior
+  segment values), and
+* the pairwise piece combination for min-plus convolution and
+  deconvolution (every closed-form case of the object algorithm,
+  expressed as masked array arithmetic).
+
+Only the convex-hull pop loop and the final assembly/canonicalisation
+remain per-piece Python — both are O(result), not O(bag).
+
+**Bit-identity contract.**  Every float expression here is the same
+expression the object backend evaluates (same intercept form
+``c = y0 - slope*x0``, same crossing form ``(c2-c1)/(m1-m2)``, same
+min/max reductions, same canonical merge tolerance), so on *any* input
+the two backends produce byte-identical curves — not merely
+EPS-equivalent ones.  The Hypothesis differential suite
+(``tests/nc/test_array_backend.py``) enforces this on dyadic grids and
+EPS-agreement on arbitrary floats; the end-to-end ``analyze()`` identity
+check covers both paper applications.  The kernel's closed-form fast
+paths and digests operate on the result arrays and are backend-agnostic.
+
+Selected via ``REPRO_NC_BACKEND=array|object`` (default ``array``);
+see :func:`repro.nc.kernel.backend`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .curve import Curve, UnboundedCurveError
+from .pieces import Point, Segment
+from .tolerance import EPS, close
+
+__all__ = [
+    "PieceArray",
+    "envelope",
+    "eval_pieces",
+    "lower_envelope_of_lines",
+    "upper_envelope_of_lines",
+    "convolve",
+    "deconvolve",
+    "minimum",
+    "maximum",
+]
+
+#: ``kind`` codes of :class:`PieceArray` rows
+KIND_POINT = 0
+KIND_SEGMENT = 1
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a, dtype=float)
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class PieceArray:
+    """A bag of points and open segments as five parallel arrays.
+
+    Row ``i`` is a **point** ``(xs[i], ys[i])`` when ``kind[i] == 0`` and
+    an **open segment** ``(xs[i], x1s[i], ys[i], slopes[i])`` (meaning
+    ``(x0, x1, y0, slope)``) when ``kind[i] == 1``.  For point rows
+    ``x1s[i] == xs[i]`` and ``slopes[i] == 0``.  Arrays are frozen
+    (read-only) at construction; the dataclass itself is frozen too.
+    """
+
+    xs: np.ndarray
+    x1s: np.ndarray
+    ys: np.ndarray
+    slopes: np.ndarray
+    kind: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xs", _freeze(self.xs))
+        object.__setattr__(self, "x1s", _freeze(self.x1s))
+        object.__setattr__(self, "ys", _freeze(self.ys))
+        object.__setattr__(self, "slopes", _freeze(self.slopes))
+        k = np.ascontiguousarray(self.kind, dtype=np.uint8)
+        k.setflags(write=False)
+        object.__setattr__(self, "kind", k)
+        n = len(self.xs)
+        if not (len(self.x1s) == len(self.ys) == len(self.slopes) == len(self.kind) == n):
+            raise ValueError("PieceArray arrays must share one length")
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(
+        cls,
+        px: np.ndarray,
+        py: np.ndarray,
+        sx0: np.ndarray,
+        sx1: np.ndarray,
+        sy0: np.ndarray,
+        sm: np.ndarray,
+    ) -> "PieceArray":
+        """Bag from separate point arrays and segment arrays."""
+        np_, ns = len(px), len(sx0)
+        return cls(
+            xs=np.concatenate((px, sx0)),
+            x1s=np.concatenate((px, sx1)),
+            ys=np.concatenate((py, sy0)),
+            slopes=np.concatenate((np.zeros(np_), sm)),
+            kind=np.concatenate(
+                (np.zeros(np_, dtype=np.uint8), np.ones(ns, dtype=np.uint8))
+            ),
+        )
+
+    @classmethod
+    def from_pieces(
+        cls, points: Iterable[Point], segments: Iterable[Segment]
+    ) -> "PieceArray":
+        """Bag from object-backend ``Point``/``Segment`` lists."""
+        pts = list(points)
+        segs = list(segments)
+        return cls.from_arrays(
+            np.array([p.x for p in pts], dtype=float),
+            np.array([p.y for p in pts], dtype=float),
+            np.array([s.x0 for s in segs], dtype=float),
+            np.array([s.x1 for s in segs], dtype=float),
+            np.array([s.y0 for s in segs], dtype=float),
+            np.array([s.slope for s in segs], dtype=float),
+        )
+
+    @classmethod
+    def from_curve(cls, c: Curve) -> "PieceArray":
+        """The canonical alternating tiling of a curve, as a bag."""
+        sx0, sx1, sy0, sm = _curve_segment_arrays(c)
+        return cls.from_arrays(c.bx, c.by, sx0, sx1, sy0, sm)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, y)`` arrays of the point rows."""
+        m = self.kind == KIND_POINT
+        return self.xs[m], self.ys[m]
+
+    def segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(x0, x1, y0, slope)`` arrays of the segment rows."""
+        m = self.kind == KIND_SEGMENT
+        return self.xs[m], self.x1s[m], self.ys[m], self.slopes[m]
+
+    def to_pieces(self) -> tuple[list[Point], list[Segment]]:
+        """Back-convert to object-backend piece lists (tests, oracle)."""
+        px, py = self.points()
+        sx0, sx1, sy0, sm = self.segments()
+        return (
+            [Point(float(x), float(y)) for x, y in zip(px, py)],
+            [
+                Segment(float(a), float(b), float(y), float(m))
+                for a, b, y, m in zip(sx0, sx1, sy0, sm)
+            ],
+        )
+
+
+def _curve_segment_arrays(
+    c: Curve,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    return c.bx, np.append(c.bx[1:], math.inf), c.sy, c.sl
+
+
+# --------------------------------------------------------------------- #
+# envelopes of full lines (vectorized candidate prep, shared hull loop)
+# --------------------------------------------------------------------- #
+
+
+def _dedupe_sorted_lines(ms: np.ndarray, cs: np.ndarray) -> tuple[list, list]:
+    """Candidate lines sorted by decreasing slope, min intercept per slope.
+
+    Matches the object backend's dict dedupe (keep the smallest ``c``
+    for each slope) followed by its ``sorted(..., key=-m)``.
+    """
+    order = np.lexsort((cs, -ms))
+    ms_s, cs_s = ms[order], cs[order]
+    if len(ms_s) > 1:
+        keep = np.empty(len(ms_s), dtype=bool)
+        keep[0] = True
+        np.not_equal(ms_s[1:], ms_s[:-1], out=keep[1:])
+        ms_s, cs_s = ms_s[keep], cs_s[keep]
+    return ms_s.tolist(), cs_s.tolist()
+
+
+def _hull_of_sorted(ms: list, cs: list) -> tuple[list, list]:
+    """Lower-envelope hull of deduped lines sorted by decreasing slope.
+
+    The pop rule is the object backend's, verbatim: drop ``hull[-1]``
+    when the new line overtakes it no later than ``hull[-2]`` hands over.
+    """
+    if len(ms) <= 1:
+        return ms, cs
+    hm: list = []
+    hc: list = []
+    for m, c in zip(ms, cs):
+        while hm:
+            if len(hm) == 1:
+                break
+            x_prev = (hc[-1] - hc[-2]) / (hm[-2] - hm[-1])
+            x_new = (c - hc[-1]) / (hm[-1] - m)
+            if x_new <= x_prev:
+                hm.pop()
+                hc.pop()
+            else:
+                break
+        hm.append(m)
+        hc.append(c)
+    return hm, hc
+
+
+def lower_envelope_of_lines(
+    ms: Sequence[float], cs: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lower envelope of full lines ``y = m*x + c`` as ``(m, c)`` arrays.
+
+    Array counterpart of
+    :func:`repro.nc.pieces.lower_envelope_of_lines`: hull lines ordered
+    by decreasing slope (the order of activity as ``x`` increases).
+    """
+    ms_a = np.asarray(ms, dtype=float)
+    cs_a = np.asarray(cs, dtype=float)
+    hm, hc = _hull_of_sorted(*_dedupe_sorted_lines(ms_a, cs_a))
+    return np.asarray(hm, dtype=float), np.asarray(hc, dtype=float)
+
+
+def upper_envelope_of_lines(
+    ms: Sequence[float], cs: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upper envelope of full lines, by the object backend's reflection."""
+    hm, hc = lower_envelope_of_lines(-np.asarray(ms, dtype=float), -np.asarray(cs, dtype=float))
+    return -hm, -hc
+
+
+def _hull_pieces_on(hm: list, hc: list, u: float, v: float, sign: float) -> list:
+    """Clip an ordered hull (in working space) to the open interval ``(u, v)``.
+
+    Returns ``(a, b, y0, m)`` tuples in *original* space: ``sign`` is
+    ``1.0`` for a lower envelope and ``-1.0`` for an upper envelope,
+    where the hull was built on negated lines.  Negation is exact in
+    IEEE-754, so the reflected values match the object backend bit for
+    bit.
+    """
+    if not hm:
+        return []
+    xs = [
+        (hc[i + 1] - hc[i]) / (hm[i] - hm[i + 1]) for i in range(len(hm) - 1)
+    ]
+    out = []
+    lo = u
+    for i in range(len(hm)):
+        hi = xs[i] if i < len(xs) else math.inf
+        a = max(lo, u)
+        b = min(hi, v)
+        if b > a:
+            if sign > 0:
+                out.append((a, b, hm[i] * a + hc[i], hm[i]))
+            else:
+                out.append((a, b, -(hm[i] * a + hc[i]), -hm[i]))
+        lo = hi
+        if lo >= v:
+            break
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the vectorized envelope
+# --------------------------------------------------------------------- #
+
+
+def _envelope_arrays(
+    px: np.ndarray,
+    py: np.ndarray,
+    sx0: np.ndarray,
+    sx1: np.ndarray,
+    sy0: np.ndarray,
+    sm: np.ndarray,
+    *,
+    lower: bool = True,
+    fill_holes: bool = False,
+) -> tuple[list, list, list, list]:
+    """Exact envelope of a piece bag; returns curve arrays as lists.
+
+    Mirrors :func:`repro.nc.pieces.envelope` (including its error
+    messages and hole handling) with the per-interval active-segment
+    scan, the line dedupe, and the grid-point candidate values computed
+    as whole-bag array operations.
+    """
+    keep = sx1 > sx0
+    if not np.all(keep):
+        sx0, sx1, sy0, sm = sx0[keep], sx1[keep], sy0[keep], sm[keep]
+    if len(px) == 0 and len(sx0) == 0:
+        raise ValueError("envelope of an empty piece bag")
+
+    grid = np.unique(np.concatenate((px, sx0, sx1[np.isfinite(sx1)])))
+    if not np.any(np.isinf(sx1)):
+        raise ValueError("piece bag does not cover out to +inf")
+
+    n_grid = len(grid)
+    uu = grid
+    vv = np.append(grid[1:], math.inf)
+
+    # working space: the upper envelope runs the lower-envelope machinery
+    # on negated lines, exactly as the object backend's reflection does
+    sign = 1.0 if lower else -1.0
+    with np.errstate(invalid="ignore"):
+        lc = sy0 - sm * sx0
+    wm = sm if lower else -sm
+    wc = lc if lower else -lc
+
+    # per-interval activity: active[i, j] <=> sx0[j] <= u_i and sx1[j] >= v_i
+    active = (sx0[None, :] <= uu[:, None]) & (sx1[None, :] >= vv[:, None])
+
+    # per-slope minimum working intercept among active lines, per interval
+    slopes_asc, ginv = np.unique(wm, return_inverse=True)
+    n_slopes = len(slopes_asc)
+    cmin = np.full((n_grid, n_slopes), math.inf)
+    for g in range(n_slopes):
+        members = ginv == g
+        if np.any(members):
+            cmin[:, g] = np.where(active[:, members], wc[members][None, :], math.inf).min(
+                axis=1
+            )
+    # candidate order is decreasing slope, as in the object backend's sort
+    slopes_desc = slopes_asc[::-1].tolist()
+    cmin_desc = cmin[:, ::-1].tolist()
+
+    # grid-point candidates: exact point values and strict-interior
+    # segment values, reduced with the exact (order-independent) min/max
+    reduce_best = np.minimum if lower else np.maximum
+    sentinel = math.inf if lower else -math.inf
+    interior = (sx0[None, :] < grid[:, None]) & (grid[:, None] < sx1[None, :])
+    seg_vals = np.where(
+        interior, sy0[None, :] + sm[None, :] * (grid[:, None] - sx0[None, :]), sentinel
+    )
+    seg_best = (
+        seg_vals.min(axis=1) if lower else seg_vals.max(axis=1)
+    ) if len(sx0) else np.full(n_grid, sentinel)
+    has_seg_cand = interior.any(axis=1) if len(sx0) else np.zeros(n_grid, dtype=bool)
+
+    pt_best = np.full(n_grid, sentinel)
+    has_pt = np.zeros(n_grid, dtype=bool)
+    if len(px):
+        pidx = np.searchsorted(grid, px)
+        reduce_best.at(pt_best, pidx, py)
+        has_pt[pidx] = True
+
+    best_vals = reduce_best(pt_best, seg_best).tolist()
+    has_cand = (has_pt | has_seg_cand).tolist()
+    grid_l = grid.tolist()
+    vv_l = vv.tolist()
+
+    best = min if lower else max
+
+    # ---- assembly: per elementary interval, hull -> pieces --------------
+    out_bx: list = []
+    out_by: list = []
+    out_sy: list = []
+    out_sl: list = []
+    env_prev: list = []
+    for gi in range(n_grid):
+        u, v = grid_l[gi], vv_l[gi]
+        row_c = cmin_desc[gi]
+        ms = []
+        cs = []
+        for m, c in zip(slopes_desc, row_c):
+            if c != math.inf:
+                ms.append(m)
+                cs.append(c)
+        if len(ms) == 1:
+            # one active line: the whole interval is its clip — the same
+            # (a, b, m*a+c, m) piece _hull_pieces_on would emit
+            y0w = ms[0] * u + cs[0]
+            env = [
+                (u, v, y0w, ms[0]) if sign > 0 else (u, v, -y0w, -ms[0])
+            ]
+        elif ms:
+            env = _hull_pieces_on(*_hull_of_sorted(ms, cs), u, v, sign)
+        else:
+            env = []
+
+        x = grid_l[gi]
+        if has_cand[gi]:
+            y = best_vals[gi]
+        else:
+            if not fill_holes:
+                raise ValueError(f"piece bag leaves the function undefined at x={x}")
+            limits = []
+            if gi > 0 and env_prev:
+                a, b, y0, m = env_prev[-1]
+                limits.append(y0 + m * (b - a))
+            if env:
+                limits.append(env[0][2])
+            if not limits:
+                raise ValueError(f"cannot fill hole at x={x}: no adjacent pieces")
+            y = best(limits)
+
+        out_bx.append(x)
+        out_by.append(y)
+        if not env:
+            if math.isinf(v):
+                raise ValueError("piece bag does not cover the final ray")
+            if not fill_holes:
+                raise ValueError(f"piece bag leaves ({u}, {v}) uncovered")
+            env = [(u, v, y, 0.0)]
+        first = True
+        for a, b, y0, m in env:
+            if not first:
+                # interior crossing abscissa: continuous seam, new point
+                out_bx.append(a)
+                out_by.append(y0)
+                out_sy.append(y0)
+                out_sl.append(m)
+            else:
+                out_sy.append(y0)
+                out_sl.append(m)
+                first = False
+        env_prev = env
+
+    return _canonicalize_arrays(out_bx, out_by, out_sy, out_sl)
+
+
+def _close_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.nc.tolerance.close` (same bound exactly)."""
+    with np.errstate(invalid="ignore"):
+        scale = np.maximum(1.0, np.maximum(np.abs(a), np.abs(b)))
+        return (a == b) | (
+            np.isfinite(a) & np.isfinite(b) & (np.abs(a - b) <= EPS * scale)
+        )
+
+
+def _canonicalize_arrays(
+    bx: list, by: list, sy: list, sl: list
+) -> tuple[list, list, list, list]:
+    """Merge collinear/continuous neighbours; the object backend's rule.
+
+    The merge decision against an *unmerged* predecessor only involves
+    adjacent pieces, so those checks are precomputed vectorized; the
+    scalar re-check runs only while a merge chain is extending (the
+    kept piece's origin then differs from the adjacent one's).
+    """
+    n = len(bx)
+    if n == 1:
+        return bx, by, sy, sl
+    bx_a = np.asarray(bx)
+    by_a = np.asarray(by)
+    sy_a = np.asarray(sy)
+    sl_a = np.asarray(sl)
+    left = sy_a[:-1] + sl_a[:-1] * (bx_a[1:] - bx_a[:-1])
+    adj = (
+        _close_vec(left, by_a[1:])
+        & _close_vec(by_a[1:], sy_a[1:])
+        & _close_vec(sl_a[:-1], sl_a[1:])
+    ).tolist()
+    cbx, cby, csy, csl = [bx[0]], [by[0]], [sy[0]], [sl[0]]
+    merged_prev = False
+    for i in range(1, n):
+        if merged_prev:
+            left_lim = csy[-1] + csl[-1] * (bx[i] - cbx[-1])
+            do = (
+                close(left_lim, by[i])
+                and close(by[i], sy[i])
+                and close(csl[-1], sl[i])
+            )
+        else:
+            do = adj[i - 1]
+        if do:
+            merged_prev = True
+            continue
+        merged_prev = False
+        cbx.append(bx[i])
+        cby.append(by[i])
+        csy.append(sy[i])
+        csl.append(sl[i])
+    return cbx, cby, csy, csl
+
+
+def envelope(
+    bag: PieceArray, *, lower: bool = True, fill_holes: bool = False
+) -> PieceArray:
+    """Exact pointwise envelope of a bag, as a canonical alternating bag.
+
+    Array counterpart of :func:`repro.nc.pieces.envelope`: the result's
+    point rows and segment rows alternate, tiling ``[xmin, inf)``.
+    """
+    px, py = bag.points()
+    sx0, sx1, sy0, sm = bag.segments()
+    bx, by, sy, sl = _envelope_arrays(
+        px, py, sx0, sx1, sy0, sm, lower=lower, fill_holes=fill_holes
+    )
+    bx_a = np.asarray(bx, dtype=float)
+    return PieceArray.from_arrays(
+        bx_a,
+        np.asarray(by, dtype=float),
+        bx_a,
+        np.append(bx_a[1:], math.inf),
+        np.asarray(sy, dtype=float),
+        np.asarray(sl, dtype=float),
+    )
+
+
+def _envelope_curve(
+    px: np.ndarray,
+    py: np.ndarray,
+    sx0: np.ndarray,
+    sx1: np.ndarray,
+    sy0: np.ndarray,
+    sm: np.ndarray,
+    *,
+    lower: bool,
+) -> Curve:
+    bx, by, sy, sl = _envelope_arrays(px, py, sx0, sx1, sy0, sm, lower=lower)
+    if bx[0] != 0.0:
+        # same contract as Curve.from_pieces on the object path
+        raise ValueError("first point must be at x=0")
+    return Curve(bx, by, sy, sl)
+
+
+# --------------------------------------------------------------------- #
+# batched evaluation
+# --------------------------------------------------------------------- #
+
+
+def eval_pieces(bag: PieceArray, x: "float | np.ndarray") -> "float | np.ndarray":
+    """Evaluate a piece bag at scalar or array ``x`` (first defined piece).
+
+    Semantics of :func:`repro.nc.pieces.eval_pieces`: an exact point
+    match wins (first point row in bag order), otherwise the first
+    segment whose *open* interval contains ``x``; raises ``ValueError``
+    when undefined.  Vectorised over ``x``.
+    """
+    arr = np.asarray(x, dtype=float)
+    scalar = arr.ndim == 0
+    xs = np.atleast_1d(arr)
+
+    px, py = bag.points()
+    sx0, sx1, sy0, sm = bag.segments()
+
+    out = np.empty(len(xs))
+    done = np.zeros(len(xs), dtype=bool)
+    if len(px):
+        eq = xs[:, None] == px[None, :]
+        hit = eq.any(axis=1)
+        first = eq.argmax(axis=1)
+        out[hit] = py[first[hit]]
+        done |= hit
+    if len(sx0):
+        inside = (sx0[None, :] < xs[:, None]) & (xs[:, None] < sx1[None, :])
+        hit = inside.any(axis=1) & ~done
+        first = inside.argmax(axis=1)
+        j = first[hit]
+        out[hit] = sy0[j] + sm[j] * (xs[hit] - sx0[j])
+        done |= hit
+    if not done.all():
+        bad = float(xs[~done][0])
+        raise ValueError(f"x={bad} outside the function domain")
+    return float(out[0]) if scalar else out
+
+
+# --------------------------------------------------------------------- #
+# min-plus operators: vectorized pairwise combination + envelope
+# --------------------------------------------------------------------- #
+
+
+def minimum(f: Curve, g: Curve) -> Curve:
+    """Pointwise minimum (array generic for the kernel's ``minimum``)."""
+    return _extremum(f, g, lower=True)
+
+
+def maximum(f: Curve, g: Curve) -> Curve:
+    """Pointwise maximum (array generic for the kernel's ``maximum``)."""
+    return _extremum(f, g, lower=False)
+
+
+def _extremum(f: Curve, g: Curve, *, lower: bool) -> Curve:
+    fx0, fx1, fy0, fm = _curve_segment_arrays(f)
+    gx0, gx1, gy0, gm = _curve_segment_arrays(g)
+    return _envelope_curve(
+        np.concatenate((f.bx, g.bx)),
+        np.concatenate((f.by, g.by)),
+        np.concatenate((fx0, gx0)),
+        np.concatenate((fx1, gx1)),
+        np.concatenate((fy0, gy0)),
+        np.concatenate((fm, gm)),
+        lower=lower,
+    )
+
+
+def convolve(f: Curve, g: Curve) -> Curve:
+    """Min-plus convolution (array generic for the kernel's ``convolve``).
+
+    Builds the full pairwise bag of the object algorithm —
+    point+point sums, point-shifted segments both ways, and the one- or
+    two-piece closed form of each segment-segment pair — with masked
+    array arithmetic, then takes the vectorized lower envelope.
+    """
+    pfx, pfy = f.bx, f.by
+    pgx, pgy = g.bx, g.by
+    fx0, fx1, fy0, fm = _curve_segment_arrays(f)
+    gx0, gx1, gy0, gm = _curve_segment_arrays(g)
+
+    # point + point
+    ppx = (pfx[:, None] + pgx[None, :]).ravel()
+    ppy = (pfy[:, None] + pgy[None, :]).ravel()
+
+    # point of f shifting segments of g, and vice versa
+    ps_x0 = (gx0[None, :] + pfx[:, None]).ravel()
+    ps_x1 = (gx1[None, :] + pfx[:, None]).ravel()
+    ps_y0 = (gy0[None, :] + pfy[:, None]).ravel()
+    ps_m = np.broadcast_to(gm[None, :], (len(pfx), len(gx0))).ravel()
+    sp_x0 = (fx0[:, None] + pgx[None, :]).ravel()
+    sp_x1 = (fx1[:, None] + pgx[None, :]).ravel()
+    sp_y0 = (fy0[:, None] + pgy[None, :]).ravel()
+    sp_m = np.broadcast_to(fm[:, None], (len(fx0), len(pgx))).ravel()
+
+    # segment x segment: the _conv_seg_seg closed form, all pairs at once
+    with np.errstate(invalid="ignore"):
+        a = (fx0[:, None] + gx0[None, :]).ravel()
+        b = (fx1[:, None] + gx1[None, :]).ravel()
+        y = (fy0[:, None] + gy0[None, :]).ravel()
+        m1 = np.broadcast_to(fm[:, None], (len(fx0), len(gx0))).ravel()
+        m2 = np.broadcast_to(gm[None, :], (len(fx0), len(gx0))).ravel()
+        l1 = np.broadcast_to((fx1 - fx0)[:, None], (len(fx0), len(gx0))).ravel()
+        l2 = np.broadcast_to((gx1 - gx0)[None, :], (len(fx0), len(gx0))).ravel()
+
+        lt = m1 < m2
+        lo_slope = np.where(lt, m1, m2)
+        hi_slope = np.where(lt, m2, m1)
+        lo_len = np.where(lt, l1, l2)
+        single = (m1 == m2) | np.isinf(lo_len)
+        two = ~single
+
+        mid = a + lo_len
+        y_mid = y + lo_slope * lo_len
+        split = two & (mid < b)
+
+    ss_x0 = np.concatenate((a[single], a[two], mid[split]))
+    ss_x1 = np.concatenate((b[single], mid[two], b[split]))
+    ss_y0 = np.concatenate((y[single], y[two], y_mid[split]))
+    ss_m = np.concatenate((lo_slope[single], lo_slope[two], hi_slope[split]))
+
+    return _envelope_curve(
+        np.concatenate((ppx, mid[split])),
+        np.concatenate((ppy, y_mid[split])),
+        np.concatenate((ps_x0, sp_x0, ss_x0)),
+        np.concatenate((ps_x1, sp_x1, ss_x1)),
+        np.concatenate((ps_y0, sp_y0, ss_y0)),
+        np.concatenate((ps_m, sp_m, ss_m)),
+        lower=True,
+    )
+
+
+def deconvolve(f: Curve, g: Curve) -> Curve:
+    """Min-plus deconvolution (array generic for the kernel's ``deconvolve``).
+
+    Vectorizes the object algorithm's regime analysis (``_deconv_pairs``
+    / ``_deconv_seg_seg``) and the clip to ``t >= 0``, then takes the
+    vectorized upper envelope.  Raw pieces are anchored
+    ``value(t) = ay + slope*(t - ax)`` with a finite anchor, exactly as
+    the object backend's ``_RawSeg``.
+    """
+    if f.final_slope > g.final_slope:
+        raise UnboundedCurveError(
+            f"deconvolution unbounded: long-run slope of numerator "
+            f"({f.final_slope:g}) exceeds the denominator's ({g.final_slope:g})"
+        )
+    pfx, pfy = f.bx, f.by
+    pgx, pgy = g.bx, g.by
+    fx0, fx1, fy0, fm = _curve_segment_arrays(f)
+    gx0, gx1, gy0, gm = _curve_segment_arrays(g)
+
+    # point - point
+    ppx = (pfx[:, None] - pgx[None, :]).ravel()
+    ppy = (pfy[:, None] - pgy[None, :]).ravel()
+
+    raw_t0: list = []
+    raw_t1: list = []
+    raw_ax: list = []
+    raw_ay: list = []
+    raw_m: list = []
+
+    def _emit(mask, t0, t1, ax, ay, m):
+        raw_t0.append(t0[mask])
+        raw_t1.append(t1[mask])
+        raw_ax.append(ax[mask])
+        raw_ay.append(ay[mask])
+        raw_m.append(m[mask] if isinstance(m, np.ndarray) else np.broadcast_to(m, mask.shape)[mask])
+
+    with np.errstate(invalid="ignore"):
+        # point of f over segments of g: anchored at the finite end t_hi
+        t_lo = (pfx[:, None] - gx1[None, :]).ravel()
+        t_hi = (pfx[:, None] - gx0[None, :]).ravel()
+        ay = (pfy[:, None] - gy0[None, :]).ravel()
+        m = np.broadcast_to(gm[None, :], (len(pfx), len(gx0))).ravel()
+        _emit(np.ones(len(t_lo), dtype=bool), t_lo, t_hi, t_hi, ay, m)
+
+        # segments of f over points of g: anchored at t_lo
+        t_lo = (fx0[:, None] - pgx[None, :]).ravel()
+        t_hi = (fx1[:, None] - pgx[None, :]).ravel()
+        ay = (fy0[:, None] - pgy[None, :]).ravel()
+        m = np.broadcast_to(fm[:, None], (len(fx0), len(pgx))).ravel()
+        _emit(np.ones(len(t_lo), dtype=bool), t_lo, t_hi, t_lo, ay, m)
+
+        # segment x segment: regimes by slope order
+        shape = (len(fx0), len(gx0))
+        a1 = np.broadcast_to(fx0[:, None], shape).ravel()
+        b1 = np.broadcast_to(fx1[:, None], shape).ravel()
+        y1 = np.broadcast_to(fy0[:, None], shape).ravel()
+        m1 = np.broadcast_to(fm[:, None], shape).ravel()
+        a2 = np.broadcast_to(gx0[None, :], shape).ravel()
+        b2 = np.broadcast_to(gx1[None, :], shape).ravel()
+        y2 = np.broadcast_to(gy0[None, :], shape).ravel()
+        m2 = np.broadcast_to(gm[None, :], shape).ravel()
+
+        lo = a1 - b2
+        hi = b1 - a2
+
+        eq = m1 == m2
+        gt = m1 > m2
+        ltm = m1 < m2
+
+        if np.any(gt & np.isinf(b1) & np.isinf(b2)):
+            raise UnboundedCurveError(
+                "deconvolution is +inf: numerator grows faster than denominator"
+            )
+
+        # m1 == m2: one affine piece through the anchor (a1-a2, y1-y2)
+        _emit(eq, lo, hi, a1 - a2, y1 - y2, m1)
+
+        # m1 > m2: regimes split at t_star = b1 - b2
+        b2f = np.isfinite(b2)
+        b1f = np.isfinite(b1)
+        t_star = b1 - b2
+        g_at_b2 = np.where(b2f, y2 + m2 * (np.where(b2f, b2, 0.0) - a2), math.inf)
+        f_at_b1 = np.where(b1f, y1 + m1 * (np.where(b1f, b1, 0.0) - a1), math.inf)
+        mA = gt & b2f & (t_star > lo)
+        _emit(mA, lo, np.minimum(t_star, hi), a1 - b2, y1 - g_at_b2, m1)
+        mB = gt & b1f & (t_star < hi)
+        _emit(mB, np.maximum(t_star, lo), hi, b1 - a2, f_at_b1 - y2, m2)
+        mT = gt & np.isfinite(t_star) & (lo < t_star) & (t_star < hi)
+
+        # m1 < m2: regimes split at t_star2 = a1 - a2
+        t_star2 = a1 - a2
+        mC = ltm & (t_star2 > lo)
+        _emit(mC, lo, np.minimum(t_star2, hi), t_star2, y1 - y2, m2)
+        mD = ltm & (t_star2 < hi)
+        _emit(mD, np.maximum(t_star2, lo), hi, t_star2, y1 - y2, m1)
+        mT2 = ltm & (lo < t_star2) & (t_star2 < hi)
+
+        tpx = np.concatenate((t_star[mT], t_star2[mT2]))
+        tpy = np.concatenate(((f_at_b1 - g_at_b2)[mT], (y1 - y2)[mT2]))
+
+        t0 = np.concatenate(raw_t0)
+        t1 = np.concatenate(raw_t1)
+        ax = np.concatenate(raw_ax)
+        ay = np.concatenate(raw_ay)
+        rm = np.concatenate(raw_m)
+
+        # ---- clip to t >= 0 (the object backend's _clip_to_nonnegative) -
+        all_px = np.concatenate((ppx, tpx))
+        all_py = np.concatenate((ppy, tpy))
+        pkeep = all_px >= 0
+        live = t1 > 0
+        straddle = live & (t0 < 0)
+        v0 = ay + rm * (0.0 - ax)
+        inside = live & ~straddle
+        v_in = ay + rm * (t0 - ax)
+
+    return _envelope_curve(
+        np.concatenate((all_px[pkeep], np.zeros(int(straddle.sum())))),
+        np.concatenate((all_py[pkeep], v0[straddle])),
+        np.concatenate((np.zeros(int(straddle.sum())), t0[inside])),
+        np.concatenate((t1[straddle], t1[inside])),
+        np.concatenate((v0[straddle], v_in[inside])),
+        np.concatenate((rm[straddle], rm[inside])),
+        lower=False,
+    )

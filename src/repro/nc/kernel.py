@@ -67,6 +67,10 @@ __all__ = [
     "unary_op",
     "interned",
     "digest_of",
+    "eval_batch",
+    "backend",
+    "set_backend",
+    "backend_override",
     "kernel_enabled",
     "set_kernel_enabled",
     "kernel_disabled",
@@ -94,7 +98,20 @@ def _env_size(name: str, default: int) -> int:
     return max(16, n)
 
 
+_BACKENDS = ("array", "object")
+
+
+def _env_backend() -> str:
+    raw = os.environ.get("REPRO_NC_BACKEND", "array").strip().lower()
+    if raw not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_NC_BACKEND must be one of {_BACKENDS}, got {raw!r}"
+        )
+    return raw
+
+
 _ENABLED: bool = _env_enabled()
+_BACKEND: str = _env_backend()
 
 #: memoized op results — bounded LRU, one per process
 _MEMO_MAX: int = _env_size("REPRO_NC_KERNEL_MEMO", 4096)
@@ -112,7 +129,42 @@ _COUNTERS = {
     "fast_path": 0,
     "interned": 0,
     "intern_evictions": 0,
+    "eval_batch_calls": 0,
+    "eval_batch_points": 0,
 }
+
+
+# --------------------------------------------------------------------- #
+# generic-algorithm backend (array SoA vs object piece lists)
+# --------------------------------------------------------------------- #
+#
+# The array backend (:mod:`repro.nc.array_backend`) replaces the generic
+# fallbacks of the envelope-bound binary ops with vectorized
+# implementations that are byte-identical to the object versions.
+# Substitution happens here, at dispatch, so digests, interning, the
+# memo, and the closed-form fast paths are backend-agnostic; ops without
+# an array generic (the deviation sweeps, pseudo-inverses, closure's
+# fixpoint driver) keep the generic they were called with — though any
+# convolve/deconvolve they perform internally re-enters dispatch and
+# picks up the array path.  The max-plus operators come along for free:
+# their generics are reflections ``-(op(-f, -g))`` of the public min-plus
+# ops.
+
+_ARRAY_BINARY_OPS = ("convolve", "deconvolve", "minimum", "maximum")
+_ARRAY_GENERICS: dict[str, Callable[[Curve, Curve], Any]] = {}
+
+
+def _array_generic(op: str) -> Callable[[Curve, Curve], Any] | None:
+    if op not in _ARRAY_BINARY_OPS:
+        return None
+    impl = _ARRAY_GENERICS.get(op)
+    if impl is None:
+        from . import array_backend  # deferred: avoids an import cycle
+
+        for name in _ARRAY_BINARY_OPS:
+            _ARRAY_GENERICS[name] = getattr(array_backend, name)
+        impl = _ARRAY_GENERICS[op]
+    return impl
 
 
 # --------------------------------------------------------------------- #
@@ -374,8 +426,12 @@ def binary_op(
     ``generic`` is the exact envelope-based fallback; ``key_extra``
     carries any scalar parameters that shape the result (they become
     part of the memo key).  Results that are curves are interned before
-    caching, so every caller shares one object.
+    caching, so every caller shares one object.  Under the array backend
+    the envelope-bound generics are swapped for their vectorized
+    byte-identical counterparts (see :func:`backend`).
     """
+    if _BACKEND == "array":
+        generic = _array_generic(op) or generic
     if not _ENABLED:
         fast = _FAST_BINARY.get(op)
         result = fast(f, g) if fast is not None else None
@@ -431,6 +487,54 @@ def unary_op(
 # --------------------------------------------------------------------- #
 
 
+def backend() -> str:
+    """The active generic-algorithm backend: ``"array"`` or ``"object"``.
+
+    Selected at import from ``REPRO_NC_BACKEND`` (default ``array``).
+    The backends are byte-identical on every operation — the switch
+    exists so the object path can serve as a differential-testing oracle
+    and a benchmark baseline, not because results differ.
+    """
+    return _BACKEND
+
+
+def set_backend(name: str) -> None:
+    """Select the generic-algorithm backend for this process."""
+    global _BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {name!r}")
+    _BACKEND = name
+
+
+@contextmanager
+def backend_override(name: str) -> Iterator[None]:
+    """Temporarily run on the named backend (tests, benchmarks)."""
+    global _BACKEND
+    prev = _BACKEND
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _BACKEND = prev
+
+
+def eval_batch(curve: Curve, xs: Any) -> np.ndarray:
+    """Evaluate ``curve`` at a whole vector of abscissae in one call.
+
+    The batched entry point for layers that hold full point lists — the
+    sweep runner's grid evaluation, the scenario judge's checks, the
+    telemetry conformance replay, and the serve tier's capacity
+    sampling.  Always returns a 1-D float array (scalar input becomes a
+    length-1 array).  Counted in :func:`memo_stats` as
+    ``eval_batch_calls`` / ``eval_batch_points``.
+    """
+    arr = np.atleast_1d(np.asarray(xs, dtype=float)).ravel()
+    with _LOCK:
+        _COUNTERS["eval_batch_calls"] += 1
+        _COUNTERS["eval_batch_points"] += arr.size
+    return np.asarray(curve(arr), dtype=float)
+
+
 def kernel_enabled() -> bool:
     """Whether operands are interned and op results memoized."""
     return _ENABLED
@@ -476,6 +580,9 @@ def memo_stats() -> dict[str, Any]:
         total = hits + misses
         return {
             "enabled": _ENABLED,
+            "backend": _BACKEND,
+            "eval_batch_calls": _COUNTERS["eval_batch_calls"],
+            "eval_batch_points": _COUNTERS["eval_batch_points"],
             "size": len(_MEMO),
             "max_size": _MEMO_MAX,
             "hits": hits,
@@ -496,7 +603,14 @@ def publish_metrics(registry: Any) -> None:
     since the last publish; gauges track the current table sizes.
     """
     stats = memo_stats()
-    for name in ("hits", "misses", "evictions", "fast_path_hits"):
+    for name in (
+        "hits",
+        "misses",
+        "evictions",
+        "fast_path_hits",
+        "eval_batch_calls",
+        "eval_batch_points",
+    ):
         counter = registry.counter(f"nc_kernel.memo_{name}")
         delta = stats[name] - counter.value
         if delta > 0:

@@ -24,7 +24,9 @@ from __future__ import annotations
 import math
 from typing import Iterable, NamedTuple
 
-from .tolerance import EPS, close
+import numpy as np
+
+from .tolerance import close
 
 __all__ = [
     "Point",
@@ -34,11 +36,6 @@ __all__ = [
     "upper_envelope_of_lines",
     "eval_pieces",
 ]
-
-#: Canonicalisation tolerance — re-exported from the shared policy
-#: module (:mod:`repro.nc.tolerance`) for existing importers.
-_EPS = EPS
-
 
 class Point(NamedTuple):
     """The exact value ``y`` of a function at the single abscissa ``x``."""
@@ -297,12 +294,23 @@ def _canonicalize(
     return cp, cs
 
 
-def eval_pieces(points: list[Point], segments: list[Segment], x: float) -> float:
-    """Evaluate a canonical point/segment tiling at a single abscissa.
+def eval_pieces(points, segments, x):
+    """Evaluate a point/segment tiling at scalar or array ``x``.
 
-    Intended for tests and internal assertions; bulk evaluation should go
-    through :meth:`repro.nc.curve.Curve.__call__`.
+    The first matching piece wins: an exact point match (in bag order),
+    otherwise the first segment whose *open* interval contains ``x``;
+    raises ``ValueError`` where neither defines the function.  An
+    array-valued ``x`` broadcasts elementwise and returns an array of
+    the same shape (:mod:`repro.nc.array_backend` provides the fully
+    vectorized equivalent).  Bulk evaluation of a :class:`Curve` should
+    go through :meth:`repro.nc.curve.Curve.__call__` or
+    :func:`repro.nc.kernel.eval_batch`.
     """
+    if isinstance(x, (list, tuple, np.ndarray)):
+        arr = np.asarray(x, dtype=float)
+        return np.array(
+            [eval_pieces(points, segments, v) for v in arr.ravel()]
+        ).reshape(arr.shape)
     for p in points:
         if p.x == x:
             return p.y

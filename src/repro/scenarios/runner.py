@@ -5,8 +5,10 @@ evaluator (:func:`repro.sweep.evaluate_point`) — a scenario is exactly
 a one-point sweep, so it inherits, unchanged: the content-addressed
 result cache (same :func:`~repro.sweep.cache.point_key` addressing),
 the per-point SHA-256 seed derivation, the process pool with the
-curve-algebra kernel memo installed per worker, and the graceful
-serial fallback.  Warm catalog runs are therefore pure cache reads.
+curve-algebra kernel memo installed per worker, the batched curve
+evaluation of the conformance replay
+(:func:`repro.nc.kernel.eval_batch`), and the graceful serial
+fallback.  Warm catalog runs are therefore pure cache reads.
 
 On top of that this module adds the *judge*: every
 :class:`~repro.scenarios.spec.Expectations` field becomes a

@@ -34,6 +34,7 @@ from .._validation import check_non_negative, check_positive
 from ..nc.bounds import affine_backlog_bound, affine_delay_bound
 from ..nc.builders import leaky_bucket, rate_latency
 from ..nc.curve import Curve
+from ..nc.kernel import eval_batch
 
 __all__ = ["TokenBucket", "SelfModel", "AdmissionController"]
 
@@ -320,12 +321,26 @@ class AdmissionController:
         if not self.slo_ok():
             self.retighten()
         bound = self.delay_bound()
+        # sampled envelopes over a horizon that spans the interesting
+        # region (latency + burst drain), batched through the kernel
+        horizon = 2.0 * (
+            self.model.dispatch_latency
+            + self.bucket.burst / max(self.bucket.rate, 1e-9)
+        )
+        ts = [horizon * i / 7.0 for i in range(8)]
+        alpha_samples = eval_batch(self.bucket.arrival_curve(), ts)
+        beta_samples = eval_batch(self.model.service_curve(), ts)
         return {
             "arrival_curve": {
                 "kind": "leaky_bucket",
                 "rate_rps": self.bucket.rate,
                 "burst_requests": self.bucket.burst,
                 "tokens_available": self.bucket.level(),
+            },
+            "envelope_samples": {
+                "t_s": ts,
+                "arrival_requests": [float(v) for v in alpha_samples],
+                "service_requests": [float(v) for v in beta_samples],
             },
             "service_curve": {
                 "kind": "rate_latency",

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..nc import backlog_bound as nc_backlog_bound
 from ..nc import delay_bound as nc_delay_bound
+from ..nc import eval_batch
 from ..nc.curve import Curve
 from ..streaming.analysis import AnalysisReport, analyze
 from ..streaming.model import build_model
@@ -256,7 +257,7 @@ def check_arrivals(
     slack = l_max * (1.0 + rtol) + rtol * float(ac[-1])
 
     # from-origin: A(t) <= alpha(t+) + l_max at every recorded step
-    env0 = np.asarray(alpha(at + _EPS), dtype=float) + l_max
+    env0 = eval_batch(alpha, at + _EPS) + l_max
     bad0 = np.nonzero(ac > env0 + rtol * np.maximum(1.0, env0))[0]
 
     # windowed: decimate, then test all i<j increments
@@ -265,7 +266,7 @@ def check_arrivals(
     lag = t_s[None, :] - t_s[:, None]
     inc = c_s[None, :] - c_s[:, None]
     upper = np.triu(np.ones_like(lag, dtype=bool), k=1)
-    env = np.asarray(alpha(np.maximum(lag, 0.0) + _EPS), dtype=float) + l_max
+    env = eval_batch(alpha, np.maximum(lag, 0.0) + _EPS).reshape(lag.shape) + l_max
     viol_w = upper & (inc > env + rtol * np.maximum(1.0, env))
 
     worst_excess = float(np.max(np.concatenate([

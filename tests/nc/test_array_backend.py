@@ -1,0 +1,320 @@
+"""Differential suite: the array backend against the object oracle.
+
+Three tiers of agreement, in decreasing strictness:
+
+* **bit-identity on the dyadic grid** — the strategies in
+  ``conftest`` draw breakpoints and slopes from multiples of 1/8, where
+  every intermediate of both backends is exactly representable, so the
+  result arrays must match byte for byte;
+* **EPS-agreement on arbitrary floats** — with irrational-ish inputs
+  the two backends still evaluate the *same* float expressions, so they
+  remain byte-identical; we assert the stronger claim where cheap and
+  the :data:`repro.nc.tolerance.EPS` claim everywhere;
+* **end-to-end identity** — ``analyze()`` on both paper applications
+  must produce byte-identical reports under every combination of
+  ``REPRO_NC_BACKEND`` and kernel on/off.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import bitw_pipeline, blast_pipeline
+from repro.nc import (
+    EPS,
+    Curve,
+    PieceArray,
+    Point,
+    Segment,
+    UnboundedCurveError,
+    backend,
+    backend_override,
+    eval_batch,
+    kernel_disabled,
+    memo_stats,
+    reset_kernel,
+    set_backend,
+    token_bucket_stair,
+)
+from repro.nc import array_backend as ab
+from repro.nc import pieces as op
+from repro.nc.curve import _maximum_generic, _minimum_generic
+from repro.nc.minplus import _convolve_generic, _deconvolve_generic
+from repro.streaming import analyze
+
+from .conftest import nondecreasing_curves
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+def _curves_identical(a: Curve, b: Curve) -> bool:
+    return (
+        np.array_equal(a.bx, b.bx)
+        and np.array_equal(a.by, b.by)
+        and np.array_equal(a.sy, b.sy)
+        and np.array_equal(a.sl, b.sl)
+    )
+
+
+# --------------------------------------------------------------------- #
+# dyadic-grid bit-identity
+# --------------------------------------------------------------------- #
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_envelope_bit_identical(f, g):
+    pts, segs = f.pieces()
+    g_pts, g_segs = g.pieces()
+    pts, segs = pts + g_pts, segs + g_segs
+    for lower in (True, False):
+        o_pts, o_segs = op.envelope(pts, segs, lower=lower)
+        bag = ab.envelope(PieceArray.from_pieces(pts, segs), lower=lower)
+        a_pts, a_segs = bag.to_pieces()
+        assert o_pts == a_pts
+        assert o_segs == a_segs
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_convolve_bit_identical(f, g):
+    with kernel_disabled():
+        assert _curves_identical(_convolve_generic(f, g), ab.convolve(f, g))
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_deconvolve_bit_identical(f, g):
+    with kernel_disabled():
+        try:
+            expected = _deconvolve_generic(f, g)
+        except UnboundedCurveError:
+            with pytest.raises(UnboundedCurveError):
+                ab.deconvolve(f, g)
+            return
+        assert _curves_identical(expected, ab.deconvolve(f, g))
+
+
+@_settings
+@given(nondecreasing_curves(), nondecreasing_curves())
+def test_extrema_bit_identical(f, g):
+    with kernel_disabled():
+        assert _curves_identical(_minimum_generic(f, g), ab.minimum(f, g))
+        assert _curves_identical(_maximum_generic(f, g), ab.maximum(f, g))
+
+
+def test_lines_envelopes_match_object():
+    lines = [(2.0, 1.0), (2.0, 3.0), (0.5, 4.0), (-1.0, 10.0), (0.5, 2.0)]
+    obj = op.lower_envelope_of_lines([op._Line(m, c) for m, c in lines])
+    ms, cs = ab.lower_envelope_of_lines(
+        [m for m, _ in lines], [c for _, c in lines]
+    )
+    assert [(l.m, l.c) for l in obj] == list(zip(ms.tolist(), cs.tolist()))
+    obj_u = op.upper_envelope_of_lines([op._Line(m, c) for m, c in lines])
+    ms_u, cs_u = ab.upper_envelope_of_lines(
+        [m for m, _ in lines], [c for _, c in lines]
+    )
+    assert [(l.m, l.c) for l in obj_u] == list(zip(ms_u.tolist(), cs_u.tolist()))
+
+
+# --------------------------------------------------------------------- #
+# EPS-agreement on arbitrary floats
+# --------------------------------------------------------------------- #
+
+_real = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def _float_curves(draw, max_breakpoints: int = 4) -> Curve:
+    n = draw(st.integers(min_value=1, max_value=max_breakpoints))
+    xs = sorted(
+        draw(
+            st.sets(
+                _real.filter(lambda v: v > 1e-6), min_size=n - 1, max_size=n - 1
+            )
+        )
+    )
+    bx = [0.0] + list(xs)
+    level = draw(_real)
+    by, sy, sl = [], [], []
+    for i in range(n):
+        by.append(level)
+        level += draw(_real) * 0.1
+        sy.append(level)
+        slope = draw(_real) * 0.05
+        sl.append(slope)
+        if i + 1 < n:
+            level += slope * (bx[i + 1] - bx[i])
+    return Curve(bx, by, sy, sl)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_curves(), _float_curves())
+def test_float_curves_eps_agreement(f, g):
+    with kernel_disabled():
+        assert _convolve_generic(f, g).almost_equal(ab.convolve(f, g), tol=EPS)
+        assert _minimum_generic(f, g).almost_equal(ab.minimum(f, g), tol=EPS)
+        assert _maximum_generic(f, g).almost_equal(ab.maximum(f, g), tol=EPS)
+        try:
+            expected = _deconvolve_generic(f, g)
+        except UnboundedCurveError:
+            with pytest.raises(UnboundedCurveError):
+                ab.deconvolve(f, g)
+            return
+        assert expected.almost_equal(ab.deconvolve(f, g), tol=EPS)
+
+
+# --------------------------------------------------------------------- #
+# end-to-end identity on the paper applications
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("pipe_fn", [blast_pipeline, bitw_pipeline])
+@pytest.mark.parametrize("packetized", [True, False])
+def test_analyze_identical_across_backends(pipe_fn, packetized):
+    pipe = pipe_fn()
+    reports = {}
+    for be in ("array", "object"):
+        for kernel_on in (True, False):
+            reset_kernel()
+            with backend_override(be):
+                if kernel_on:
+                    r = analyze(pipe, packetized=packetized, workload=2**28)
+                else:
+                    with kernel_disabled():
+                        r = analyze(pipe, packetized=packetized, workload=2**28)
+            reports[(be, kernel_on)] = r
+    base = reports[("object", True)]
+    for key, r in reports.items():
+        assert r.delay_bound == base.delay_bound, key
+        assert r.backlog_bound == base.backlog_bound, key
+        assert r.delay_bound_workload == base.delay_bound_workload, key
+        assert r.backlog_bound_workload == base.backlog_bound_workload, key
+        for name in ("alpha", "beta", "gamma", "alpha_star"):
+            ca, cb = getattr(r, name), getattr(base, name)
+            if ca is None or cb is None:
+                assert ca is cb, key
+            else:
+                assert _curves_identical(ca, cb), (key, name)
+
+
+# --------------------------------------------------------------------- #
+# error parity
+# --------------------------------------------------------------------- #
+
+
+def test_envelope_error_messages_match():
+    with pytest.raises(ValueError, match="empty piece bag"):
+        ab.envelope(PieceArray.from_pieces([], []))
+    with pytest.raises(ValueError, match="cover out to"):
+        ab.envelope(
+            PieceArray.from_pieces(
+                [Point(0.0, 0.0)], [Segment(0.0, 1.0, 0.0, 1.0)]
+            )
+        )
+    # hole cases raise the exact message the object backend raises
+    holey = (
+        [Point(0.0, 0.0)],
+        [Segment(0.0, 1.0, 0.0, 1.0), Segment(1.0, math.inf, 2.0, 0.5)],
+    )
+    uncovered = (
+        [Point(0.0, 0.0), Point(0.5, 1.0)],
+        [Segment(1.0, math.inf, 1.0, 1.0)],
+    )
+    for pts, segs in (holey, uncovered):
+        with pytest.raises(ValueError) as obj_exc:
+            op.envelope(pts, segs)
+        with pytest.raises(ValueError) as arr_exc:
+            ab.envelope(PieceArray.from_pieces(pts, segs))
+        assert str(arr_exc.value) == str(obj_exc.value)
+
+
+def test_deconvolve_unbounded_message_matches_object():
+    f = Curve([0.0], [0.0], [0.0], [5.0])
+    g = Curve([0.0], [0.0], [0.0], [1.0])
+    with kernel_disabled():
+        try:
+            _deconvolve_generic(f, g)
+        except UnboundedCurveError as e:
+            obj_msg = str(e)
+        with pytest.raises(UnboundedCurveError) as exc:
+            ab.deconvolve(f, g)
+        assert str(exc.value) == obj_msg
+
+
+# --------------------------------------------------------------------- #
+# eval_pieces broadcasting (object satellite + array equivalent)
+# --------------------------------------------------------------------- #
+
+
+def test_eval_pieces_broadcasts_and_handles_jumps():
+    # staircase-like tiling with a jump at x=1: f(1) = 1 but f(1+) = 2
+    pts = [Point(0.0, 0.0), Point(1.0, 1.0)]
+    segs = [Segment(0.0, 1.0, 0.0, 1.0), Segment(1.0, math.inf, 2.0, 0.5)]
+    xs = [0.0, 0.5, 1.0, 1.5, 3.0]
+    expected = [0.0, 0.5, 1.0, 2.25, 3.0]
+
+    # scalar path unchanged
+    assert op.eval_pieces(pts, segs, 1.0) == 1.0
+    # list / array broadcast in the object backend
+    got = op.eval_pieces(pts, segs, xs)
+    assert isinstance(got, np.ndarray)
+    assert got.tolist() == expected
+    got2d = op.eval_pieces(pts, segs, np.array(xs).reshape(1, 5))
+    assert got2d.shape == (1, 5)
+    assert got2d.ravel().tolist() == expected
+    # array backend agrees exactly, including at the jump abscissa
+    bag = PieceArray.from_pieces(pts, segs)
+    assert ab.eval_pieces(bag, np.array(xs)).tolist() == expected
+    assert ab.eval_pieces(bag, 1.0) == 1.0
+
+    with pytest.raises(ValueError, match="outside the function domain"):
+        op.eval_pieces(pts, segs, [0.5, -1.0])
+    with pytest.raises(ValueError, match="outside the function domain"):
+        ab.eval_pieces(bag, np.array([0.5, -1.0]))
+
+
+# --------------------------------------------------------------------- #
+# kernel integration: switch, batched entry point, counters
+# --------------------------------------------------------------------- #
+
+
+def test_backend_switch_and_stats():
+    prev = backend()
+    try:
+        set_backend("object")
+        assert memo_stats()["backend"] == "object"
+        with backend_override("array"):
+            assert backend() == "array"
+        assert backend() == "object"
+        with pytest.raises(ValueError, match="backend must be one of"):
+            set_backend("simd")
+    finally:
+        set_backend(prev)
+
+
+def test_eval_batch_counts_and_values():
+    reset_kernel()
+    c = token_bucket_stair(1000.0, 64.0, 8.0, n_steps=16)
+    xs = np.array([0.0, 1e-4, 0.05, 0.5])
+    got = eval_batch(c, xs)
+    assert got.shape == (4,)
+    assert np.array_equal(got, np.asarray(c(xs), dtype=float))
+    got_scalar = eval_batch(c, 0.25)
+    assert got_scalar.shape == (1,)
+    stats = memo_stats()
+    assert stats["eval_batch_calls"] == 2
+    assert stats["eval_batch_points"] == 5
+    assert stats["backend"] in ("array", "object")
+
+
+def test_piecearray_roundtrip_and_immutability():
+    c = token_bucket_stair(100.0, 16.0, 4.0, n_steps=8)
+    bag = PieceArray.from_curve(c)
+    pts, segs = c.pieces()
+    assert bag.to_pieces() == (pts, segs)
+    with pytest.raises(ValueError):
+        bag.xs[0] = 5.0
